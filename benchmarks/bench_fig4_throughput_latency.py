@@ -1,0 +1,54 @@
+"""Fig. 4 — Transaction throughput/latency, f=1, dedicated cluster.
+
+Paper: IA-CCF saturates at 47,841 tx/s with latency under 70 ms;
+IA-CCF-NoReceipt 51,209 tx/s (+3%); IA-CCF-PeerReview an order of
+magnitude lower; Fabric 1,222 tx/s at 1.9 s latency.
+"""
+
+from repro.bench import print_table, run_fabric_point, run_iaccf_point
+from repro.lpbft import ProtocolParams
+
+BASE = dict(
+    pipeline=2, max_batch=300, checkpoint_interval=10_000,
+    batch_delay=0.0005, view_change_timeout=30.0,
+)
+
+
+def curve(label, params, rates, **kwargs):
+    return [
+        run_iaccf_point(rate=r, params=params, duration=0.4, warmup=0.15, label=label, **kwargs)
+        for r in rates
+    ]
+
+
+def test_fig4_iaccf(once):
+    points = once(curve, "IA-CCF", ProtocolParams(**BASE), [10_000, 30_000, 45_000, 50_000])
+    print_table("Fig. 4: IA-CCF (paper: 47.8k tx/s, <70 ms)", points)
+    peak = max(p.throughput_tps for p in points)
+    assert 38_000 < peak < 60_000
+    low_load = points[0]
+    assert low_load.latency_mean_ms < 10
+
+
+def test_fig4_noreceipt(once):
+    points = once(curve, "IA-CCF-NoReceipt", ProtocolParams(**BASE, receipts=False), [45_000, 52_000])
+    print_table("Fig. 4: IA-CCF-NoReceipt (paper: 51.2k, +3% over IA-CCF)", points)
+    peak = max(p.throughput_tps for p in points)
+    assert peak > 40_000  # receipts cost only a few percent
+
+
+def test_fig4_peerreview(once):
+    points = once(
+        curve, "IA-CCF-PeerReview", ProtocolParams(**BASE, peer_review=True), [2_000, 5_000, 8_000]
+    )
+    print_table("Fig. 4: IA-CCF-PeerReview (paper: ~10x below IA-CCF)", points)
+    peak = max(p.throughput_tps for p in points)
+    assert peak < 47_800 / 3  # order-of-magnitude class gap
+
+
+def test_fig4_fabric(once):
+    points = once(lambda: [run_fabric_point(rate=r, duration=4.0) for r in (800, 2_000)])
+    print_table("Fig. 4: Hyperledger Fabric 2.2 (paper: 1.2k tx/s @ 1.9 s)", points)
+    saturated = points[-1]
+    assert saturated.throughput_tps < 3_000
+    assert saturated.latency_mean_ms > 500

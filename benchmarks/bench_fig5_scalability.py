@@ -1,0 +1,82 @@
+"""Fig. 5 — Transaction throughput vs replica count (WAN).
+
+Paper: IA-CCF's throughput falls as N grows (each replica verifies more
+signatures); HotStuff stays roughly flat but ≥71% below IA-CCF even at
+64 replicas; IA-CCF-PeerReview is lowest.  Replica counts are scaled down
+(4/10/19) to keep the simulated message complexity tractable; the trend
+over N is what the figure shows.
+"""
+
+from repro.baselines import HotStuffParams
+from repro.bench import print_table, run_hotstuff_point, run_iaccf_point, wan_sites
+from repro.lpbft import ProtocolParams
+from repro.network.latency import wan_latency, REGIONS_WAN
+from repro.sim.costs import AZURE_WAN
+
+WAN_PARAMS = ProtocolParams(
+    pipeline=6, max_batch=800, checkpoint_interval=4_000,
+    batch_delay=0.001, view_change_timeout=30.0,
+)
+NS = [4, 10, 19]
+
+
+def test_fig5_iaccf_scalability(once):
+    def run():
+        points = []
+        for n in NS:
+            rate = 30_000 if n == 4 else (20_000 if n == 10 else 12_000)
+            points.append(
+                run_iaccf_point(
+                    rate=rate, n_replicas=n, params=WAN_PARAMS, costs=AZURE_WAN,
+                    latency=wan_latency(), sites=wan_sites(n), client_site=REGIONS_WAN[0],
+                    duration=1.2, warmup=0.4, accounts=10_000, label=f"IA-CCF N={n}",
+                )
+            )
+        return points
+
+    points = once(run)
+    print_table("Fig. 5: IA-CCF WAN scalability (paper: decreasing with N)", points)
+    tputs = [p.throughput_tps for p in points]
+    assert tputs[0] > tputs[-1], "throughput should fall as N grows"
+    assert tputs[-1] > 3_000
+
+
+def test_fig5_hotstuff_scalability(once):
+    def run():
+        return [
+            run_hotstuff_point(
+                rate=8_000, n_replicas=n, params=HotStuffParams(batch_size=400),
+                costs=AZURE_WAN, latency=wan_latency(), sites=wan_sites(n),
+                client_site=REGIONS_WAN[0], duration=1.5, warmup=0.5,
+                label=f"HotStuff N={n}",
+            )
+            for n in NS
+        ]
+
+    points = once(run)
+    print_table("Fig. 5: HotStuff WAN (paper: ~5.9k tx/s, slow decline)", points)
+    tputs = [p.throughput_tps for p in points]
+    # HotStuff is round-trip-bound in the WAN: ≈ batch / RTT ≈ 6k/s.
+    assert all(3_000 < t < 12_000 for t in tputs)
+    # Decline across N is gentle (within 40%).
+    assert tputs[-1] > tputs[0] * 0.6
+
+
+def test_fig5_iaccf_beats_hotstuff(once):
+    def run():
+        iaccf = run_iaccf_point(
+            rate=20_000, n_replicas=10, params=WAN_PARAMS, costs=AZURE_WAN,
+            latency=wan_latency(), sites=wan_sites(10), client_site=REGIONS_WAN[0],
+            duration=1.2, warmup=0.4, accounts=10_000,
+        )
+        hotstuff = run_hotstuff_point(
+            rate=20_000, n_replicas=10, params=HotStuffParams(batch_size=400),
+            costs=AZURE_WAN, latency=wan_latency(), sites=wan_sites(10),
+            client_site=REGIONS_WAN[0], duration=1.5, warmup=0.5,
+        )
+        return iaccf, hotstuff
+
+    iaccf, hotstuff = once(run)
+    print_table("Fig. 5: crossover check at N=10", [iaccf, hotstuff])
+    # Paper: HotStuff remains well below IA-CCF (71% lower at N=64).
+    assert hotstuff.throughput_tps < iaccf.throughput_tps

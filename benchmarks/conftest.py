@@ -1,0 +1,14 @@
+"""Benchmark configuration: each bench runs exactly once (the simulator is
+deterministic; repeated rounds would only measure host noise)."""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched function a single time and return its result."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

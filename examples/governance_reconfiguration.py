@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Governance: swap a replica out of the consortium by referendum (§5).
+
+Members propose a successor configuration (replica 0 out, replica 4 in),
+vote it through, and the service runs the end-of-configuration dance:
+2P empty end-of-config batches, an activation checkpoint, and P
+start-of-config batches.  Clients never hold the ledger — they fetch the
+governance receipt chain and use it to verify receipts signed by the new
+replica set (§5.2).
+
+Run:  python examples/governance_reconfiguration.py
+"""
+
+from repro.lpbft import Deployment, ProtocolParams
+from repro.receipts import verify_chain, verify_receipt
+from repro.workloads import SmallBankWorkload, initial_state, register_smallbank
+
+
+def main() -> None:
+    params = ProtocolParams(pipeline=2, max_batch=50, checkpoint_interval=30)
+    deployment = Deployment(
+        n_replicas=4, params=params, registry_setup=register_smallbank,
+        initial_state=initial_state(500),
+        spare_replicas=1,  # replica 4 stands by, mirroring the ledger
+    )
+    client = deployment.add_client(retry_timeout=0.5)
+    movers = {m: deployment.member_client(m) for m in ("member-1", "member-2", "member-3")}
+    deployment.start()
+
+    workload = SmallBankWorkload(n_accounts=500, seed=5)
+    print("== phase 1: configuration 0 (replicas 0-3) ==")
+    for _ in range(20):
+        client.submit(*workload.next_transaction(), min_index=0)
+    deployment.run(until=0.3)
+    print(f"  committed batches: {deployment.committed_seqnos()}")
+
+    print("\n== referendum: swap replica 0 for replica 4 ==")
+    new_config = deployment.propose_successor(add=[4], remove=[0])
+    movers["member-1"].submit(
+        "gov.propose", {"member": "member-1", "config": new_config.to_wire()}, min_index=0
+    )
+    deployment.run(until=0.5)
+    for name, mover in movers.items():
+        mover.submit("gov.vote", {"member": name, "accept": True}, min_index=0)
+        deployment.run(until=deployment.net.scheduler.now + 0.2)
+    deployment.run(until=3.0)
+    configs = [r.schedule.current().number for r in deployment.replicas]
+    print(f"  active configuration per replica: {configs}")
+
+    print("\n== phase 2: configuration 1 (replicas 1-4) ==")
+    digests = [client.submit(*workload.next_transaction(), min_index=0) for _ in range(20)]
+    deployment.run(until=8.0)
+    print(f"  committed batches: {deployment.committed_seqnos()}")
+    print(f"  client received {len(client.receipts)} receipts total")
+
+    print("\n== the client's governance chain ==")
+    print(f"  chain length: {len(client.gov_chain)} reconfiguration(s)")
+    schedule = verify_chain(client.gov_chain, params.pipeline)
+    for span in schedule.spans():
+        ids = span.config.replica_ids()
+        print(f"  config {span.config.number}: replicas {ids}, active from batch {span.start_seqno}")
+
+    newest = max((client.receipts[d] for d in digests), key=lambda r: r.seqno)
+    config = schedule.config_at_seqno(newest.seqno)
+    print(f"\n  newest receipt is from batch {newest.seqno}, configuration {config.number}")
+    print(f"  signed by replicas {newest.signers()} — verify: {verify_receipt(newest, config)}")
+    assert verify_receipt(newest, config)
+    assert config.number == 1
+
+
+if __name__ == "__main__":
+    main()

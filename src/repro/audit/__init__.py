@@ -1,0 +1,48 @@
+"""Auditing: from inconsistent receipts to universal proofs-of-misbehavior
+(paper §4, Appendix B).
+
+- :mod:`repro.audit.upom` — uPoM and audit-result types;
+- :mod:`repro.audit.package` — ledger packages and completeness (§B.1.1);
+- :mod:`repro.audit.replay` — checkpoint-based transaction replay (§4.1);
+- :mod:`repro.audit.auditor` — the Alg. 4 audit engine with the
+  Lemma 5/7/9/10 blame case analysis.
+"""
+
+from .upom import (
+    UPoM,
+    AuditResult,
+    UPOM_EQUIVOCATION,
+    UPOM_RECEIPT_NOT_IN_LEDGER,
+    UPOM_WRONG_EXECUTION,
+    UPOM_BAD_CHECKPOINT,
+    UPOM_MIN_INDEX,
+    UPOM_MALFORMED_LEDGER,
+    UPOM_GOVERNANCE_FORK,
+    UPOM_CONFIG_MISMATCH,
+    UPOM_UNRESPONSIVE,
+    ALL_UPOM_KINDS,
+)
+from .package import LedgerPackage, build_ledger_package, check_package_completeness
+from .replay import replay_ledger, ReplayFinding
+from .auditor import Auditor
+
+__all__ = [
+    "UPoM",
+    "AuditResult",
+    "Auditor",
+    "LedgerPackage",
+    "build_ledger_package",
+    "check_package_completeness",
+    "replay_ledger",
+    "ReplayFinding",
+    "UPOM_EQUIVOCATION",
+    "UPOM_RECEIPT_NOT_IN_LEDGER",
+    "UPOM_WRONG_EXECUTION",
+    "UPOM_BAD_CHECKPOINT",
+    "UPOM_MIN_INDEX",
+    "UPOM_MALFORMED_LEDGER",
+    "UPOM_GOVERNANCE_FORK",
+    "UPOM_CONFIG_MISMATCH",
+    "UPOM_UNRESPONSIVE",
+    "ALL_UPOM_KINDS",
+]

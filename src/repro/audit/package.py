@@ -1,0 +1,142 @@
+"""Ledger packages: what replicas hand to auditors (paper §B.1.1).
+
+A ledger package bundles a ledger fragment, the checkpoint the oldest
+receipt references, and the replica's committed governance sub-ledger.
+Completeness (relative to a set of receipts) means the package lets the
+auditor run every check of Alg. 4: the fragment covers the span from the
+reference checkpoint to the newest receipt, the checkpoint digest matches
+the receipt's ``dC``, and the governance sub-ledger extends every
+supporting chain the receipts carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AuditError
+from ..governance.subledger import GovernanceSubLedger, extract_governance_subledger
+from ..kvstore import Checkpoint
+from ..ledger import Ledger, LedgerFragment
+from ..receipts.receipt import Receipt
+
+
+@dataclass
+class LedgerPackage:
+    """A replica's audit response.
+
+    ``fragment`` is a full-prefix fragment (our replicas keep complete
+    ledgers; the paper's byte-range optimization does not change any
+    check).  ``checkpoint`` is the state snapshot matching the oldest
+    receipt's ``dC``; ``subledger`` is the committed governance
+    sub-ledger; ``source_replica`` identifies the responder for blame.
+    """
+
+    fragment: LedgerFragment
+    checkpoint: Checkpoint | None
+    subledger: GovernanceSubLedger
+    source_replica: int
+    # The paper's message box E (§B.1.1): commitment evidence for the
+    # newest P batches, whose in-ledger evidence has not been ordered yet.
+    extra_evidence: dict = None  # seqno -> (evidence_wire, nonces_wire)
+
+    def to_wire(self) -> tuple:
+        cp = self.checkpoint
+        cp_wire = None
+        if cp is not None:
+            cp_wire = (cp.seqno, tuple((k, v) for k, v in sorted(cp.state.items())), cp.ledger_size, cp.ledger_root)
+        return (
+            "ledger-package",
+            self.fragment.start,
+            self.fragment.entry_wires,
+            cp_wire,
+            self.subledger.to_wire(),
+            self.source_replica,
+            tuple(sorted((k, v[0], v[1]) for k, v in (self.extra_evidence or {}).items())),
+        )
+
+    @staticmethod
+    def from_wire(raw: tuple) -> "LedgerPackage":
+        try:
+            tag, start, entry_wires, cp_wire, sub_wire, source, extra = raw
+        except (TypeError, ValueError) as exc:
+            raise AuditError(f"malformed ledger package: {exc}") from exc
+        if tag != "ledger-package":
+            raise AuditError(f"expected ledger-package, got {tag!r}")
+        checkpoint = None
+        if cp_wire is not None:
+            seqno, items, lsize, lroot = cp_wire
+            checkpoint = Checkpoint(
+                seqno=seqno, state={k: v for k, v in items}, ledger_size=lsize, ledger_root=lroot
+            )
+        return LedgerPackage(
+            fragment=LedgerFragment(start=start, entry_wires=tuple(entry_wires)),
+            checkpoint=checkpoint,
+            subledger=GovernanceSubLedger.from_wire(sub_wire),
+            source_replica=source,
+            extra_evidence={k: (e, n) for k, e, n in extra},
+        )
+
+
+def build_ledger_package(replica, oldest_receipt: Receipt | None = None) -> LedgerPackage:
+    """Build an honest replica's ledger package.
+
+    ``replica`` is any object with ``ledger``, ``checkpoints``,
+    ``params``, and ``id`` attributes (an :class:`~repro.lpbft.LPBFTReplica`).
+    The checkpoint chosen is the one whose digest matches the oldest
+    receipt's ``dC`` (the auditor's replay start); with no receipt given,
+    the newest checkpoint is included.
+    """
+    fragment = replica.ledger.fragment(0)
+    subledger = extract_governance_subledger(replica.ledger.entries(), replica.params.pipeline)
+    checkpoint = None
+    if oldest_receipt is not None:
+        for cp in replica.checkpoints.values():
+            if cp.digest() == oldest_receipt.checkpoint_digest:
+                checkpoint = cp
+                break
+    if checkpoint is None and replica.checkpoints:
+        checkpoint = replica.checkpoints[max(replica.checkpoints)]
+    extra: dict = {}
+    last = replica.ledger.last_seqno()
+    for seqno in range(max(1, last - replica.params.pipeline + 1), last + 1):
+        built = replica._build_evidence(seqno)
+        if built is not None:
+            extra[seqno] = (built[0].to_wire(), built[1].to_wire())
+    return LedgerPackage(
+        fragment=fragment,
+        checkpoint=checkpoint,
+        subledger=subledger,
+        source_replica=replica.id,
+        extra_evidence=extra,
+    )
+
+
+def check_package_completeness(package: LedgerPackage, receipts: list[Receipt]) -> list[str]:
+    """Check a package against the §B.1.1 completeness conditions.
+
+    Returns a list of human-readable deficiencies (empty when complete).
+    Deficiencies are attributable to the responding replica: a correct
+    replica can always produce a complete package (Lemma 4).
+    """
+    problems: list[str] = []
+    if package.fragment.start != 0:
+        problems.append("fragment does not start at the genesis entry")
+        return problems
+    try:
+        ledger = package.fragment.to_ledger()
+    except Exception as exc:  # malformed entries are attributable too
+        problems.append(f"fragment cannot be parsed: {exc}")
+        return problems
+    if not receipts:
+        return problems
+    newest = max(receipts, key=lambda r: r.seqno)
+    oldest = min(receipts, key=lambda r: r.seqno)
+    if ledger.last_seqno() < newest.seqno:
+        problems.append(
+            f"fragment ends at batch {ledger.last_seqno()}, receipts reach {newest.seqno}"
+        )
+    if package.checkpoint is None:
+        problems.append("package has no checkpoint")
+    elif package.checkpoint.digest() != oldest.checkpoint_digest:
+        problems.append("checkpoint digest does not match the oldest receipt's dC")
+    return problems

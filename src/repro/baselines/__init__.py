@@ -1,0 +1,29 @@
+"""Baselines the paper evaluates against (§6).
+
+- HotStuff (Fig. 4–5, Tab. 2–3) — :mod:`repro.baselines.hotstuff`;
+- Hyperledger Fabric 2.2 (Fig. 4) — :mod:`repro.baselines.fabric`;
+- Pompē (Tab. 3) — :mod:`repro.baselines.pompe`;
+- IA-CCF-PeerReview and IA-CCF-NoReceipt are feature variants of the main
+  implementation (``ProtocolParams(peer_review=True)`` /
+  ``ProtocolParams(receipts=False)``).
+"""
+
+from .hotstuff import HotStuffDeployment, HotStuffParams, HotStuffReplica, HotStuffClient
+from .fabric import FabricDeployment, FabricParams, FabricPeer, FabricOrderer, FabricClient
+from .pompe import PompeDeployment, PompeParams, PompeReplica, PompeClient
+
+__all__ = [
+    "HotStuffDeployment",
+    "HotStuffParams",
+    "HotStuffReplica",
+    "HotStuffClient",
+    "FabricDeployment",
+    "FabricParams",
+    "FabricPeer",
+    "FabricOrderer",
+    "FabricClient",
+    "PompeDeployment",
+    "PompeParams",
+    "PompeReplica",
+    "PompeClient",
+]

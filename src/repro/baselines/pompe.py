@@ -1,0 +1,246 @@
+"""Pompē baseline (paper §6.8 — Zhang et al., OSDI 2020).
+
+Pompē separates *ordering* from *consensus*: clients first obtain signed
+timestamps from 2f+1 replicas (the ordering phase), then the leader runs
+consensus over already-ordered commands.  This removes the leader as an
+ordering bottleneck — higher throughput — at the price of extra round
+trips: the paper reports 465,646 tx/s with empty requests and 73 ms
+latency against IA-CCF's 12 ms on the dedicated cluster (Tab. 3).
+
+The model keeps the two-phase message flow and the per-phase crypto:
+ordering costs each replica a signature per command batch and the client
+a quorum of verifications; consensus is a single pipelined vote round
+(Pompē's consensus can be HotStuff; one round per block when pipelined).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..network import Node, SimNetwork, constant_latency
+from ..network.latency import LatencyModel
+from ..sim.costs import CostModel
+from ..sim.metrics import MetricsCollector
+
+
+@dataclass
+class PompeParams:
+    """Tunables for the Pompē baseline."""
+
+    batch_size: int = 800
+    ordering_batch: int = 64  # commands per ordering-phase timestamp request
+    per_command_cost: float = 1.45e-6  # leader-side per-command work
+    chain_depth: int = 2
+
+
+class PompeReplica(Node):
+    """A Pompē replica: timestamps command batches in the ordering phase
+    and votes in the consensus phase; replica 0 leads consensus."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        n_replicas: int,
+        params: PompeParams,
+        costs: CostModel,
+        metrics: MetricsCollector | None = None,
+        site: str = "local",
+    ) -> None:
+        super().__init__(address=f"pompe-replica-{replica_id}", site=site)
+        self.id = replica_id
+        self.n = n_replicas
+        self.f = (n_replicas + 2) // 3 - 1
+        self.quorum = n_replicas - self.f
+        self.params = params
+        self.costs = costs
+        self.metrics = metrics or MetricsCollector()
+        self.is_leader = replica_id == 0
+        self.pending: list = []
+        self.blocks: dict[int, dict] = {}
+        self.next_height = 1
+        self.awaiting_qc = False
+
+    def peer_addresses(self) -> list[str]:
+        return [f"pompe-replica-{i}" for i in range(self.n) if i != self.id]
+
+    def on_message(self, src: str, msg: Any) -> None:
+        self.charge(self.costs.message_overhead + self.costs.mac)
+        kind = msg[0]
+        if kind == "order":
+            # Ordering phase: timestamp + sign one batch of commands.
+            self.charge(self.costs.sign)
+            self.charge(self.params.per_command_cost * msg[2] / 8)
+            self.send(src, ("ordered", msg[1], self.id))
+        elif kind == "cert" and self.is_leader:
+            # An ordering certificate: 2f+1 signed timestamps; the leader
+            # verifies them once per batch, not per command.
+            if len(self.pending) >= 8 * self.params.batch_size:
+                self.metrics.bump("certs_shed")
+                return
+            self.charge(self.costs.parallel(self.costs.verify) * self.quorum / 4)
+            self.charge(self.params.per_command_cost * msg[2])
+            self.pending.append((msg[1], src, msg[3], msg[2]))
+            self._maybe_propose()
+        elif kind == "propose":
+            self.charge(self.costs.parallel(self.costs.verify) * 2)
+            self.charge(self.costs.sign)
+            self.send(src, ("vote", msg[1], self.id))
+        elif kind == "vote" and self.is_leader:
+            self._handle_vote(msg)
+
+    def _maybe_propose(self) -> None:
+        if self.awaiting_qc or not self.pending:
+            return
+        height = self.next_height
+        certs = self.pending[: self.params.batch_size]
+        del self.pending[: len(certs)]
+        self.blocks[height] = {"certs": certs, "votes": {self.id}, "committed": False}
+        self.next_height += 1
+        self.awaiting_qc = True
+        self.charge(self.costs.sign)
+        n_cmds = sum(c[3] for c in certs)
+        self.broadcast(self.peer_addresses(), ("propose", height), size=64 + 48 * max(1, len(certs)))
+        self.metrics.bump("blocks_proposed")
+
+    def _handle_vote(self, msg: tuple) -> None:
+        height, voter = msg[1], msg[2]
+        block = self.blocks.get(height)
+        if block is None:
+            return
+        self.charge(self.costs.parallel(self.costs.verify))
+        block["votes"].add(voter)
+        if len(block["votes"]) >= self.quorum and self.awaiting_qc:
+            self.awaiting_qc = False
+            self._commit(height - (self.params.chain_depth - 1))
+            self._maybe_propose()
+
+    def _commit(self, height: int) -> None:
+        block = self.blocks.get(height)
+        if block is None or block["committed"]:
+            return
+        block["committed"] = True
+        total = sum(c[3] for c in block["certs"])
+        self.metrics.bump("blocks_committed")
+        self.metrics.throughput.record_commit(self.cpu_time(), total)
+        for cert_id, client, submitted_at, n_cmds in block["certs"]:
+            self.send(client, ("reply", cert_id, submitted_at, n_cmds))
+        self.blocks.pop(height - 10, None)
+
+
+class PompeClient(Node):
+    """Open-loop client: ordering phase then submission to the leader."""
+
+    def __init__(
+        self,
+        name: str,
+        n_replicas: int,
+        params: PompeParams,
+        costs: CostModel,
+        rate: float,
+        metrics: MetricsCollector | None = None,
+        site: str = "local",
+        stop_at: float | None = None,
+    ) -> None:
+        super().__init__(address=name, site=site)
+        self.n = n_replicas
+        self.f = (n_replicas + 2) // 3 - 1
+        self.quorum = n_replicas - self.f
+        self.params = params
+        self.costs = costs
+        self.rate = rate
+        self.metrics = metrics or MetricsCollector()
+        self.stop_at = stop_at
+        self.recording = True
+        self._counter = 0
+        self._pending_order: dict[int, tuple[float, set, int]] = {}
+        self.completed = 0
+
+    def replica_addresses(self) -> list[str]:
+        return [f"pompe-replica-{i}" for i in range(self.n)]
+
+    def on_start(self) -> None:
+        if self.rate > 0:
+            self.set_timer(0.0, self._tick)
+
+    def _tick(self) -> None:
+        if self.stop_at is not None and self.now >= self.stop_at:
+            return
+        tick_span = max(self.params.ordering_batch / self.rate, 1e-3)
+        n_cmds = max(1, round(tick_span * self.rate))
+        self._counter += 1
+        self._pending_order[self._counter] = (self.now, set(), n_cmds)
+        # Ordering phase: request timestamps from 2f+1 replicas.
+        for address in self.replica_addresses()[: self.quorum]:
+            self.send(address, ("order", self._counter, n_cmds), size=64 + 32 * n_cmds)
+        self.set_timer(tick_span, self._tick)
+
+    def on_message(self, src: str, msg: Any) -> None:
+        kind = msg[0]
+        if kind == "ordered":
+            entry = self._pending_order.get(msg[1])
+            if entry is None:
+                return
+            submitted_at, acks, n_cmds = entry
+            acks.add(msg[2])
+            if len(acks) >= self.quorum:
+                del self._pending_order[msg[1]]
+                self.send(
+                    "pompe-replica-0",
+                    ("cert", msg[1], n_cmds, submitted_at),
+                    size=64 + 96 * self.quorum,
+                )
+        elif kind == "reply":
+            _, submitted_at, n_cmds = msg[1], msg[2], msg[3]
+            self.completed += n_cmds
+            if self.recording:
+                self.metrics.latency.record(self.now - submitted_at)
+
+
+@dataclass
+class PompeDeployment:
+    """N Pompē replicas plus one open-loop client."""
+
+    n_replicas: int = 4
+    params: PompeParams = field(default_factory=PompeParams)
+    costs: CostModel = field(default_factory=CostModel)
+    latency: LatencyModel | None = None
+
+    def __post_init__(self) -> None:
+        self.net = SimNetwork(latency=self.latency or constant_latency(25e-6))
+        self.metrics = MetricsCollector()
+        self.replicas = []
+        for i in range(self.n_replicas):
+            replica = PompeReplica(
+                replica_id=i,
+                n_replicas=self.n_replicas,
+                params=self.params,
+                costs=self.costs,
+                metrics=self.metrics if i == 0 else MetricsCollector(),
+            )
+            self.net.register(replica)
+            self.replicas.append(replica)
+        self.clients: list[PompeClient] = []
+
+    def add_client(self, rate: float, stop_at: float | None = None) -> PompeClient:
+        client = PompeClient(
+            name=f"pompe-client-{len(self.clients)}",
+            n_replicas=self.n_replicas,
+            params=self.params,
+            costs=self.costs,
+            rate=rate,
+            metrics=MetricsCollector(),
+            stop_at=stop_at,
+        )
+        self.net.register(client)
+        self.clients.append(client)
+        return client
+
+    def run(self, until: float) -> None:
+        self.net.start()
+        self.net.run(until=until)
+
+
+# IA-CCF-PeerReview and IA-CCF-NoReceipt are ProtocolParams variants of the
+# main implementation (peer_review=True / receipts=False); see
+# repro.lpbft.config and the Tab. 3 breakdown bench.

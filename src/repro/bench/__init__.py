@@ -1,0 +1,23 @@
+"""Benchmark harness regenerating the paper's tables and figures (§6)."""
+
+from .runners import (
+    BenchPoint,
+    run_iaccf_point,
+    run_hotstuff_point,
+    run_fabric_point,
+    run_pompe_point,
+    saturation_sweep,
+    print_table,
+    wan_sites,
+)
+
+__all__ = [
+    "BenchPoint",
+    "run_iaccf_point",
+    "run_hotstuff_point",
+    "run_fabric_point",
+    "run_pompe_point",
+    "saturation_sweep",
+    "print_table",
+    "wan_sites",
+]

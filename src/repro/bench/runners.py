@@ -1,0 +1,253 @@
+"""Benchmark runners: one simulated measurement point per call (§6).
+
+Methodology matches the paper: throughput is measured at the primary
+replica over a window that excludes warm-up; latency is measured at the
+clients.  Runs are deterministic for a given seed, so pytest-benchmark
+variance reflects host CPU only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..baselines import (
+    FabricDeployment,
+    FabricParams,
+    HotStuffDeployment,
+    HotStuffParams,
+    PompeDeployment,
+    PompeParams,
+)
+from ..lpbft import Deployment, ProtocolParams
+from ..network.latency import LatencyModel, cluster_latency
+from ..sim.costs import CostModel, DEDICATED_CLUSTER
+from ..workloads import (
+    EmptyWorkload,
+    SmallBankWorkload,
+    initial_state,
+    register_noop,
+    register_smallbank,
+)
+
+
+@dataclass
+class BenchPoint:
+    """One measurement: offered load in, throughput/latency out."""
+
+    system: str
+    offered_tps: float
+    throughput_tps: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    extra: dict = field(default_factory=dict)
+
+    def row(self) -> str:
+        return (
+            f"{self.system:<24} offered={self.offered_tps:>9.0f}/s  "
+            f"tput={self.throughput_tps:>9.0f}/s  "
+            f"lat(mean/p50/p99)={self.latency_mean_ms:7.2f}/{self.latency_p50_ms:7.2f}/"
+            f"{self.latency_p99_ms:7.2f} ms"
+        )
+
+
+def run_iaccf_point(
+    rate: float,
+    n_replicas: int = 4,
+    params: ProtocolParams | None = None,
+    costs: CostModel | None = None,
+    latency: LatencyModel | None = None,
+    accounts: int = 500_000,
+    duration: float = 0.5,
+    warmup: float = 0.15,
+    workload: str = "smallbank",
+    sites: dict | None = None,
+    client_site: str = "local",
+    seed: int = 0,
+    label: str = "IA-CCF",
+) -> BenchPoint:
+    """Measure IA-CCF (or a feature variant of it) at one offered load."""
+    params = params or ProtocolParams(
+        pipeline=2, max_batch=300, checkpoint_interval=10_000, batch_delay=0.0005,
+        view_change_timeout=30.0,
+    )
+    costs = costs or DEDICATED_CLUSTER
+    if workload == "smallbank":
+        state = initial_state(accounts)
+        registry_setup = register_smallbank
+        wl = SmallBankWorkload(n_accounts=accounts, seed=seed)
+    else:
+        state = None
+        registry_setup = register_noop
+        wl = EmptyWorkload(seed=seed)
+    dep = Deployment(
+        n_replicas=n_replicas,
+        params=params,
+        costs=costs,
+        latency=latency or cluster_latency(),
+        registry_setup=registry_setup,
+        initial_state=state,
+        sites=sites or {},
+    )
+    load = dep.add_load_generator(
+        wl, rate=rate, site=client_site, stop_at=duration, verify_receipts=False,
+        retry_timeout=10.0,
+    )
+    load.recording = False
+    primary_metrics = dep.metrics
+    dep.start()
+    dep.net.scheduler.after(warmup, lambda: _open_window(primary_metrics, load))
+    dep.net.scheduler.at(duration, lambda: _close_window(primary_metrics, load))
+    dep.run(until=duration + 0.2)
+    summary = primary_metrics.summary()
+    lat = load.metrics.latency
+    return BenchPoint(
+        system=label,
+        offered_tps=rate,
+        throughput_tps=summary["throughput_tx_s"],
+        latency_mean_ms=lat.mean() * 1e3,
+        latency_p50_ms=lat.p50() * 1e3,
+        latency_p99_ms=lat.p99() * 1e3,
+        extra={
+            "committed": summary["committed"],
+            "counters": summary["counters"],
+            "submitted": load.submitted,
+        },
+    )
+
+
+def _open_window(metrics, load) -> None:
+    metrics.throughput.start_window(metrics_now(load))
+    load.recording = True
+
+
+def _close_window(metrics, load) -> None:
+    metrics.throughput.end_window(metrics_now(load))
+    load.recording = False
+
+
+def metrics_now(node) -> float:
+    return node.net.scheduler.now if node.net is not None else 0.0
+
+
+def run_hotstuff_point(
+    rate: float,
+    n_replicas: int = 4,
+    params: HotStuffParams | None = None,
+    costs: CostModel | None = None,
+    latency: LatencyModel | None = None,
+    duration: float = 0.5,
+    warmup: float = 0.15,
+    sites: dict | None = None,
+    client_site: str = "local",
+    label: str = "HotStuff",
+) -> BenchPoint:
+    dep = HotStuffDeployment(
+        n_replicas=n_replicas,
+        params=params or HotStuffParams(),
+        costs=costs or DEDICATED_CLUSTER,
+        latency=latency or cluster_latency(),
+        sites=sites or {},
+    )
+    client = dep.add_client(rate=rate, site=client_site, stop_at=duration)
+    client.recording = False
+    dep.net.start()
+    dep.net.scheduler.after(warmup, lambda: _open_window(dep.metrics, client))
+    dep.net.scheduler.at(duration, lambda: _close_window(dep.metrics, client))
+    dep.net.run(until=duration + 0.3)
+    lat = client.metrics.latency
+    return BenchPoint(
+        system=label,
+        offered_tps=rate,
+        throughput_tps=dep.metrics.throughput.throughput(),
+        latency_mean_ms=lat.mean() * 1e3,
+        latency_p50_ms=lat.p50() * 1e3,
+        latency_p99_ms=lat.p99() * 1e3,
+    )
+
+
+def run_fabric_point(
+    rate: float,
+    n_peers: int = 4,
+    params: FabricParams | None = None,
+    costs: CostModel | None = None,
+    latency: LatencyModel | None = None,
+    duration: float = 4.0,
+    warmup: float = 1.0,
+    accounts: int = 500_000,
+    label: str = "Fabric 2.2",
+) -> BenchPoint:
+    dep = FabricDeployment(
+        n_peers=n_peers,
+        params=params or FabricParams(),
+        costs=costs or DEDICATED_CLUSTER,
+        latency=latency or cluster_latency(),
+        store_size=accounts,
+    )
+    client = dep.add_client(rate=rate, stop_at=duration)
+    client.recording = False
+    dep.net.start()
+    dep.net.scheduler.after(warmup, lambda: _open_window(dep.metrics, client))
+    dep.net.scheduler.at(duration, lambda: _close_window(dep.metrics, client))
+    dep.net.run(until=duration + 3.0)
+    lat = client.metrics.latency
+    return BenchPoint(
+        system=label,
+        offered_tps=rate,
+        throughput_tps=dep.metrics.throughput.throughput(),
+        latency_mean_ms=lat.mean() * 1e3,
+        latency_p50_ms=lat.p50() * 1e3,
+        latency_p99_ms=lat.p99() * 1e3,
+    )
+
+
+def run_pompe_point(
+    rate: float,
+    n_replicas: int = 4,
+    params: PompeParams | None = None,
+    costs: CostModel | None = None,
+    latency: LatencyModel | None = None,
+    duration: float = 0.5,
+    warmup: float = 0.15,
+    label: str = "Pompe",
+) -> BenchPoint:
+    dep = PompeDeployment(
+        n_replicas=n_replicas,
+        params=params or PompeParams(),
+        costs=costs or DEDICATED_CLUSTER,
+        latency=latency or cluster_latency(),
+    )
+    client = dep.add_client(rate=rate, stop_at=duration)
+    client.recording = False
+    dep.net.start()
+    dep.net.scheduler.after(warmup, lambda: _open_window(dep.metrics, client))
+    dep.net.scheduler.at(duration, lambda: _close_window(dep.metrics, client))
+    dep.net.run(until=duration + 0.3)
+    lat = client.metrics.latency
+    return BenchPoint(
+        system=label,
+        offered_tps=rate,
+        throughput_tps=dep.metrics.throughput.throughput(),
+        latency_mean_ms=lat.mean() * 1e3,
+        latency_p50_ms=lat.p50() * 1e3,
+        latency_p99_ms=lat.p99() * 1e3,
+    )
+
+
+def saturation_sweep(run_point, rates: list[float], **kwargs) -> list[BenchPoint]:
+    """Run a throughput/latency curve over increasing offered load."""
+    return [run_point(rate=rate, **kwargs) for rate in rates]
+
+
+def print_table(title: str, points: list[BenchPoint]) -> None:
+    print(f"\n== {title} ==")
+    for point in points:
+        print("  " + point.row())
+
+
+def wan_sites(n_replicas: int) -> dict[int, str]:
+    """Assign replicas round-robin to the three Azure WAN regions (§6)."""
+    from ..network.latency import REGIONS_WAN
+
+    return {i: REGIONS_WAN[i % len(REGIONS_WAN)] for i in range(n_replicas)}

@@ -1,0 +1,33 @@
+"""Byzantine fault injection (paper §2 threat model, §4 auditing).
+
+- :mod:`repro.byzantine.behaviors` — live misbehavior: tampered
+  execution, equivocation, silence, receipt suppression, audit
+  stonewalling, ledger rewriting.
+- :mod:`repro.byzantine.forgery` — data-level construction of
+  properly-signed contradictory artifacts (the evidence shape the
+  paper's lemmas blame from), using only colluders' own keys.
+"""
+
+from .behaviors import (
+    Behavior,
+    TamperExecution,
+    SilentReplica,
+    SuppressReceipts,
+    UnresponsiveToAudit,
+    LedgerRewriter,
+    EquivocatingPrimary,
+)
+from .forgery import forge_receipt, forge_alternate_output, forge_eoc_receipt
+
+__all__ = [
+    "Behavior",
+    "TamperExecution",
+    "SilentReplica",
+    "SuppressReceipts",
+    "UnresponsiveToAudit",
+    "LedgerRewriter",
+    "EquivocatingPrimary",
+    "forge_receipt",
+    "forge_alternate_output",
+    "forge_eoc_receipt",
+]

@@ -1,0 +1,51 @@
+"""Nonce commitment scheme (paper §3.1, Lemma 3).
+
+L-PBFT halves the signatures needed to commit a batch: replicas include
+``H(nonce)`` in the signed pre-prepare/prepare message and later reveal the
+nonce in the (unsigned) commit message.  Revealing a value whose hash
+matches the committed hash proves the replica prepared the batch, because
+producing a second pre-image of a fresh random nonce is infeasible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+from ..errors import CryptoError
+
+NONCE_SIZE = 32
+
+
+@dataclass(frozen=True)
+class NonceCommitment:
+    """A nonce and its hash commitment for one (view, seqno) slot."""
+
+    nonce: bytes
+    commitment: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.nonce) != NONCE_SIZE:
+            raise CryptoError(f"nonce must be {NONCE_SIZE} bytes")
+        if self.commitment != hashlib.sha256(self.nonce).digest():
+            raise CryptoError("commitment does not match nonce")
+
+
+def new_nonce(seed: bytes | None = None) -> NonceCommitment:
+    """Sample a fresh nonce (deterministically if ``seed`` is given) and
+    return it with its commitment."""
+    nonce = hashlib.sha256(b"nonce" + (seed if seed is not None else os.urandom(32))).digest()
+    return NonceCommitment(nonce=nonce, commitment=hashlib.sha256(nonce).digest())
+
+
+def commit_nonce(nonce: bytes) -> bytes:
+    """The hash commitment for an existing nonce."""
+    if len(nonce) != NONCE_SIZE:
+        raise CryptoError(f"nonce must be {NONCE_SIZE} bytes")
+    return hashlib.sha256(nonce).digest()
+
+
+def open_matches(nonce: bytes, commitment: bytes) -> bool:
+    """True iff revealing ``nonce`` opens ``commitment``."""
+    return len(nonce) == NONCE_SIZE and hashlib.sha256(nonce).digest() == commitment

@@ -1,0 +1,10 @@
+"""Enforcement: compelling data production and punishing members (§4.2)."""
+
+from .enforcer import (
+    Enforcer,
+    Penalty,
+    providers_from_deployment,
+    make_enforcer,
+)
+
+__all__ = ["Enforcer", "Penalty", "providers_from_deployment", "make_enforcer"]

@@ -1,0 +1,35 @@
+"""Governance: consortium membership, replica sets, reconfiguration (§5).
+
+- :mod:`repro.governance.configuration` — :class:`Configuration`: the
+  members, replicas, signing keys, and voting rule in force at a point in
+  the ledger.
+- :mod:`repro.governance.transactions` — the governance stored procedures
+  (``gov.propose``, ``gov.vote``) and proposal state kept in the KV store.
+- :mod:`repro.governance.subledger` — extraction and validation of the
+  governance sub-ledger, and the governance receipt chains clients keep.
+"""
+
+from .configuration import Configuration, MemberInfo, ReplicaInfo
+from .transactions import (
+    GOV_PROPOSE,
+    GOV_VOTE,
+    register_governance_procedures,
+    pending_proposal,
+    accepted_configuration,
+    clear_accepted_configuration,
+)
+from .subledger import GovernanceSubLedger, extract_governance_subledger
+
+__all__ = [
+    "Configuration",
+    "MemberInfo",
+    "ReplicaInfo",
+    "GOV_PROPOSE",
+    "GOV_VOTE",
+    "register_governance_procedures",
+    "pending_proposal",
+    "accepted_configuration",
+    "clear_accepted_configuration",
+    "GovernanceSubLedger",
+    "extract_governance_subledger",
+]

@@ -1,0 +1,221 @@
+"""The governance sub-ledger (§5.2).
+
+Governance transactions are recorded in the ledger like any other
+transaction; the *governance sub-ledger* is the subsequence of entries
+needed to determine the active configuration at any point: the genesis
+entry, every ``gov.*`` transaction entry, and the pre-prepares of the
+end-of-configuration batches that carry each reconfiguration out.
+
+:func:`extract_governance_subledger` walks a ledger (or a full-prefix
+fragment) and replays just the governance procedures on a scratch
+key-value store to derive the :class:`~repro.governance.schedule.ConfigSchedule`.
+Replicas use it when joining from a fetched ledger; auditors use it to
+determine signing keys and to cross-check the governance receipts clients
+supply (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..crypto import signatures
+from ..crypto.hashing import Digest
+from ..errors import GovernanceError
+from ..kvstore import KVStore, ProcedureRegistry
+from ..ledger.entries import GenesisEntry, LedgerEntry, PrePrepareEntry, TxEntry, entry_from_wire
+from ..lpbft.messages import BATCH_END_OF_CONFIG, PrePrepare, TransactionRequest
+from .configuration import Configuration
+from .schedule import ConfigSchedule, ConfigSpan
+from .transactions import (
+    accepted_configuration,
+    clear_accepted_configuration,
+    install_configuration,
+    register_governance_procedures,
+)
+
+
+@dataclass(frozen=True)
+class ReconfigRecord:
+    """One completed reconfiguration, as seen in the ledger.
+
+    ``new_config`` took effect at ``start_seqno``; ``final_vote_seqno`` is
+    the batch whose last transaction passed the referendum, and
+    ``eoc_pp_wire`` is the pre-prepare of the *P*-th end-of-configuration
+    batch — the batch whose receipt clients keep, and whose
+    ``committed_root`` commits signers to the governance decision
+    (fork detection, Lemma 7).
+    """
+
+    new_config: Configuration
+    final_vote_seqno: int
+    final_vote_index: int
+    eoc_seqno: int
+    eoc_pp_wire: tuple
+    start_seqno: int
+
+    def eoc_pre_prepare(self) -> PrePrepare:
+        return PrePrepare.from_wire(self.eoc_pp_wire)
+
+
+@dataclass
+class GovernanceSubLedger:
+    """Governance entries plus the configuration schedule they imply.
+
+    ``entries`` holds ``(ledger_index, entry_wire)`` pairs in ledger
+    order — genesis, governance transactions, and end-of-configuration
+    pre-prepares.  ``schedule`` is the derived configuration timeline and
+    ``reconfigs`` the per-reconfiguration records.
+    """
+
+    entries: list[tuple[int, tuple]]
+    schedule: ConfigSchedule
+    reconfigs: list[ReconfigRecord]
+
+    def to_wire(self) -> tuple:
+        return (
+            "gov-subledger",
+            tuple((i, w) for i, w in self.entries),
+            self.schedule.to_wire(),
+        )
+
+    @staticmethod
+    def from_wire(raw: tuple) -> "GovernanceSubLedger":
+        try:
+            tag, entries, schedule = raw
+        except (TypeError, ValueError) as exc:
+            raise GovernanceError(f"malformed governance sub-ledger: {exc}") from exc
+        if tag != "gov-subledger":
+            raise GovernanceError(f"expected gov-subledger, got {tag!r}")
+        return GovernanceSubLedger(
+            entries=[(i, w) for i, w in entries],
+            schedule=ConfigSchedule.from_wire(schedule),
+            reconfigs=[],
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def genesis_config(self) -> Configuration:
+        return self.schedule.spans()[0].config
+
+    def current_config(self) -> Configuration:
+        return self.schedule.current()
+
+    def is_prefix_of(self, other: "GovernanceSubLedger") -> bool:
+        """True iff this sub-ledger is a prefix of ``other`` (completeness
+        condition of §B.2.1: the client's chain must be a prefix of the
+        responding replica's committed sub-ledger)."""
+        if len(self.entries) > len(other.entries):
+            return False
+        return all(a == b for a, b in zip(self.entries, other.entries))
+
+    def verify_member_signatures(self, backend=None) -> bool:
+        """Check that every governance request was signed by a member of
+        the configuration in force when it executed."""
+        backend = backend or signatures.default_backend()
+        for index, wire in self.entries:
+            entry = entry_from_wire(wire)
+            if not isinstance(entry, TxEntry):
+                continue
+            request = entry.request()
+            config = self.schedule.config_at_index(index)
+            member_keys = {m.public_key for m in config.members}
+            if request.client not in member_keys:
+                return False
+            if not backend.verify(request.client, request.signed_payload(), request.signature):
+                return False
+        return True
+
+
+def extract_governance_subledger(entries: Iterable[LedgerEntry], pipeline: int) -> GovernanceSubLedger:
+    """Derive the governance sub-ledger from full-prefix ledger entries.
+
+    ``entries`` must start at the genesis entry (ledger index 0);
+    ``pipeline`` is the protocol's pipeline depth P, which fixes where a
+    passed referendum takes effect (``final_vote_seqno + 2P + 1``).
+    """
+    registry = ProcedureRegistry()
+    register_governance_procedures(registry)
+    scratch = KVStore()
+
+    collected: list[tuple[int, tuple]] = []
+    reconfigs: list[ReconfigRecord] = []
+    schedule: ConfigSchedule | None = None
+    current_seqno = 0
+    # A referendum that has passed but not yet activated:
+    # (new_config, final_vote_seqno, final_vote_index, activation_seqno).
+    pending: tuple[Configuration, int, int, int] | None = None
+    pending_eoc: tuple[int, tuple] | None = None  # (seqno, pp_wire) of Pth eoc batch
+
+    for index, entry in enumerate(entries):
+        if isinstance(entry, GenesisEntry):
+            if schedule is not None:
+                raise GovernanceError(f"second genesis entry at ledger index {index}")
+            config = Configuration.from_wire(entry.config_wire)
+            schedule = ConfigSchedule.genesis(config)
+            result, _ = scratch.execute(lambda tx: install_configuration(tx, config))
+            collected.append((index, entry.to_wire()))
+            continue
+        if schedule is None:
+            raise GovernanceError("ledger does not start with a genesis entry")
+        if isinstance(entry, PrePrepareEntry):
+            pp = entry.pre_prepare()
+            current_seqno = pp.seqno
+            if pending is not None and pp.flags == BATCH_END_OF_CONFIG:
+                _, vote_seqno, _, _ = pending
+                if pp.seqno == vote_seqno + pipeline:
+                    # The Pth end-of-configuration batch: the one clients
+                    # keep a receipt for, and the fork-detection anchor.
+                    pending_eoc = (pp.seqno, pp.to_wire())
+                    collected.append((index, entry.to_wire()))
+            if pending is not None and pp.seqno >= pending[3]:
+                new_config, vote_seqno, vote_index, activation = pending
+                if pending_eoc is None:
+                    raise GovernanceError(
+                        f"configuration {new_config.number} activates at {activation} "
+                        f"without a Pth end-of-configuration batch"
+                    )
+                schedule.append(
+                    ConfigSpan(config=new_config, start_seqno=activation, start_index=index)
+                )
+                reconfigs.append(
+                    ReconfigRecord(
+                        new_config=new_config,
+                        final_vote_seqno=vote_seqno,
+                        final_vote_index=vote_index,
+                        eoc_seqno=pending_eoc[0],
+                        eoc_pp_wire=pending_eoc[1],
+                        start_seqno=activation,
+                    )
+                )
+                scratch.execute(lambda tx: install_configuration(tx, new_config))
+                pending = None
+                pending_eoc = None
+            continue
+        if isinstance(entry, TxEntry) and entry.request_wire[1].startswith("gov."):
+            request = entry.request()
+            registry_result, _ = scratch.execute(
+                lambda tx: registry.invoke(request.procedure, tx, request.args)
+            )
+            collected.append((index, entry.to_wire()))
+            # Did this transaction pass a referendum?
+            accepted: list[Configuration | None] = [None]
+
+            def read_accepted(tx, out=accepted):
+                out[0] = accepted_configuration(tx)
+                if out[0] is not None:
+                    clear_accepted_configuration(tx)
+                return None
+
+            scratch.execute(read_accepted)
+            if accepted[0] is not None:
+                pending = (
+                    accepted[0],
+                    current_seqno,
+                    index,
+                    current_seqno + 2 * pipeline + 1,
+                )
+
+    if schedule is None:
+        raise GovernanceError("no genesis entry found")
+    return GovernanceSubLedger(entries=collected, schedule=schedule, reconfigs=reconfigs)

@@ -1,0 +1,135 @@
+"""Governance stored procedures (paper §5.1).
+
+Members change the configuration through a referendum carried out as
+ordinary transactions: a member submits a ``gov.propose`` transaction with
+the new configuration, then members submit ``gov.vote`` transactions.
+When the vote count reaches the threshold, the final vote marks the
+proposal accepted in the KV store; the primary notices, ends the batch,
+and starts the reconfiguration dance (see
+:mod:`repro.lpbft.reconfiguration`).
+
+Proposal state lives in the KV store under ``__gov.*`` keys so that it is
+replicated, checkpointed, and replayable like any other state.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import GovernanceError
+from ..kvstore import KVTransaction, ProcedureRegistry
+from .configuration import Configuration
+
+GOV_PROPOSE = "gov.propose"
+GOV_VOTE = "gov.vote"
+
+_KEY_CURRENT = "__gov.current_config"
+_KEY_PROPOSAL = "__gov.proposal"
+_KEY_VOTES = "__gov.votes"
+_KEY_ACCEPTED = "__gov.accepted_config"
+
+
+def install_configuration(tx: KVTransaction, config: Configuration) -> None:
+    """Record ``config`` as the current configuration (used at genesis and
+    at the end of each reconfiguration)."""
+    tx.put(_KEY_CURRENT, config.to_wire())
+    tx.delete(_KEY_PROPOSAL)
+    tx.delete(_KEY_VOTES)
+    tx.delete(_KEY_ACCEPTED)
+
+
+def current_configuration(tx: KVTransaction) -> Configuration:
+    """The configuration currently in force, from the KV store."""
+    raw = tx.get(_KEY_CURRENT)
+    if raw is None:
+        raise GovernanceError("no configuration installed")
+    return Configuration.from_wire(raw)
+
+
+def pending_proposal(tx: KVTransaction) -> Configuration | None:
+    """The proposed configuration under referendum, if any."""
+    raw = tx.get(_KEY_PROPOSAL)
+    return None if raw is None else Configuration.from_wire(raw)
+
+
+def accepted_configuration(tx: KVTransaction) -> Configuration | None:
+    """The configuration accepted by a passed referendum, if any.
+
+    The primary polls this after executing each transaction; a non-None
+    value triggers reconfiguration (§5.1).
+    """
+    raw = tx.get(_KEY_ACCEPTED)
+    return None if raw is None else Configuration.from_wire(raw)
+
+
+def clear_accepted_configuration(tx: KVTransaction) -> None:
+    """Consume the accepted-configuration marker once reconfiguration
+    starts."""
+    tx.delete(_KEY_ACCEPTED)
+
+
+def _gov_propose(tx: KVTransaction, args: dict) -> Any:
+    """``gov.propose``: a member proposes a new configuration.
+
+    args: ``member`` (proposer id), ``config`` (Configuration wire form).
+    """
+    member = args.get("member")
+    config_wire = args.get("config")
+    if member is None or config_wire is None:
+        tx.abort("propose requires member and config")
+    current = current_configuration(tx)
+    if not current.has_member(member):
+        tx.abort(f"proposer {member!r} is not a member")
+    if tx.get(_KEY_PROPOSAL) is not None:
+        tx.abort("a proposal is already pending")
+    proposed = Configuration.from_wire(config_wire)
+    try:
+        current.validate_successor(proposed)
+    except GovernanceError as exc:
+        tx.abort(f"invalid successor configuration: {exc}")
+    tx.put(_KEY_PROPOSAL, proposed.to_wire())
+    tx.put(_KEY_VOTES, {"voters": (), "proposer": member})
+    return {"ok": True, "proposal": proposed.number}
+
+
+def _gov_vote(tx: KVTransaction, args: dict) -> Any:
+    """``gov.vote``: a member votes on the pending proposal.
+
+    args: ``member`` (voter id), ``accept`` (bool).  When the threshold is
+    reached, the accepted configuration is recorded for the primary to
+    pick up.
+    """
+    member = args.get("member")
+    accept = args.get("accept", True)
+    if member is None:
+        tx.abort("vote requires member")
+    current = current_configuration(tx)
+    if not current.has_member(member):
+        tx.abort(f"voter {member!r} is not a member")
+    proposal_raw = tx.get(_KEY_PROPOSAL)
+    if proposal_raw is None:
+        tx.abort("no pending proposal")
+    votes = tx.get(_KEY_VOTES) or {"voters": ()}
+    voters = list(votes.get("voters", ()))
+    if member in voters:
+        tx.abort(f"member {member!r} already voted")
+    if not accept:
+        # A rejection withdraws the proposal (simple majority-against rule
+        # is left to service policy; one explicit nay cancels here).
+        tx.delete(_KEY_PROPOSAL)
+        tx.delete(_KEY_VOTES)
+        return {"ok": True, "passed": False, "rejected_by": member}
+    voters.append(member)
+    tx.put(_KEY_VOTES, {"voters": tuple(sorted(voters)), "proposer": votes.get("proposer")})
+    if len(voters) >= current.vote_threshold:
+        # Referendum passed: record for the primary (ends the batch and
+        # triggers reconfiguration).
+        tx.put(_KEY_ACCEPTED, proposal_raw)
+        return {"ok": True, "passed": True, "votes": len(voters)}
+    return {"ok": True, "passed": False, "votes": len(voters)}
+
+
+def register_governance_procedures(registry: ProcedureRegistry) -> None:
+    """Install ``gov.propose`` and ``gov.vote`` into a registry."""
+    registry.register(GOV_PROPOSE, _gov_propose)
+    registry.register(GOV_VOTE, _gov_vote)

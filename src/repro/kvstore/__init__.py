@@ -1,0 +1,29 @@
+"""Strictly-serializable transactional key-value store (paper §2).
+
+IA-CCF executes transactions against a key-value store that supports
+roll-back at transaction granularity (CCF uses a CHAMP map; we use a
+dict-backed store with an undo log).  The store provides:
+
+- :class:`KVStore` — versioned map with per-transaction undo records,
+  rollback of arbitrary suffixes of the transaction history, canonical
+  checkpoint digests, and write-set hashing;
+- :class:`KVTransaction` — the read/write handle passed to stored
+  procedures;
+- :class:`ProcedureRegistry` — named stored procedures defining the
+  service logic (paper: "clients send requests to execute transactions by
+  calling stored procedures").
+"""
+
+from .store import KVStore, KVTransaction, TxRecord
+from .checkpoints import Checkpoint, checkpoint_digest
+from .procedures import ProcedureRegistry, procedure_result
+
+__all__ = [
+    "KVStore",
+    "KVTransaction",
+    "TxRecord",
+    "Checkpoint",
+    "checkpoint_digest",
+    "ProcedureRegistry",
+    "procedure_result",
+]

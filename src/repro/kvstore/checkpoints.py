@@ -1,0 +1,64 @@
+"""Key-value store checkpoints (paper §3.4).
+
+A checkpoint captures the full service state at a batch boundary plus the
+ledger Merkle tree's size and root at that point, so replicas (and
+auditors) can resume replay from the checkpoint instead of the start of
+the ledger.  The checkpoint digest ``dC`` recorded in checkpoint
+transactions is the canonical digest of the state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..crypto.hashing import Digest
+from ..errors import KVError
+from .store import KVStore, accumulator_digest, state_accumulator
+
+
+def checkpoint_digest(state: dict[str, Any]) -> Digest:
+    """Canonical digest of a raw state snapshot (matches
+    :meth:`KVStore.state_digest` for the same contents)."""
+    return accumulator_digest(state_accumulator(state.items()))
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A point-in-time copy of the service state.
+
+    ``seqno`` is the batch sequence number at which it was taken;
+    ``ledger_size`` / ``ledger_root`` bind it to the ledger tree M at that
+    point so auditors can check the ledger fragment they replay from it.
+    """
+
+    seqno: int
+    state: dict[str, Any]
+    ledger_size: int
+    ledger_root: Digest
+    _digest: Digest | None = field(default=None, repr=False, compare=False)
+
+    def digest(self) -> Digest:
+        """The checkpoint digest dC recorded in checkpoint transactions
+        (computed once and cached)."""
+        if self._digest is None:
+            object.__setattr__(self, "_digest", checkpoint_digest(self.state))
+        return self._digest
+
+    def restore_into(self, store: KVStore) -> None:
+        """Load this checkpoint's state into ``store``."""
+        store.restore(self.state)
+
+    @staticmethod
+    def capture(store: KVStore, seqno: int, ledger_size: int, ledger_root: Digest) -> "Checkpoint":
+        """Snapshot ``store`` at batch ``seqno`` (digest reuses the
+        store's incremental accumulator, so capture is one dict copy)."""
+        if seqno < 0:
+            raise KVError(f"checkpoint seqno must be non-negative, got {seqno}")
+        return Checkpoint(
+            seqno=seqno,
+            state=store.snapshot(),
+            ledger_size=ledger_size,
+            ledger_root=ledger_root,
+            _digest=store.state_digest(),
+        )

@@ -1,0 +1,274 @@
+"""The replica-side ledger: entries, Merkle tree M, and batch index.
+
+Layout per committed batch at sequence number s (paper Fig. 3)::
+
+    [evidence(s−P)] [nonces(s−P)] [pre-prepare(s)] [tx ...] [tx ...]
+
+View changes insert ``[view-changes] [new-view]`` between batches.  The
+ledger Merkle tree M appends the digest of every entry in ledger order,
+and the ``root_m`` signed in each pre-prepare is the root of M over all
+entries *before* that pre-prepare entry — so each signed batch commits the
+replica to the entire preceding ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..crypto.hashing import Digest
+from ..errors import LedgerError
+from ..merkle import MerkleTree
+from .entries import (
+    CheckpointTxEntry,
+    EvidenceEntry,
+    GenesisEntry,
+    LedgerEntry,
+    NewViewEntry,
+    NoncesEntry,
+    PrePrepareEntry,
+    TxEntry,
+    ViewChangesEntry,
+    entry_from_wire,
+)
+
+
+@dataclass
+class BatchInfo:
+    """Locator for one batch inside the ledger."""
+
+    seqno: int
+    view: int
+    pp_index: int  # ledger index of the pre-prepare entry
+    first_tx: int  # ledger index of the first tx entry (== pp_index + 1)
+    tx_count: int
+    flags: int
+
+    @property
+    def end(self) -> int:
+        """Ledger index one past the batch's last entry."""
+        return self.first_tx + self.tx_count
+
+
+class Ledger:
+    """Append-only ledger with the ledger Merkle tree M.
+
+    Entries are indexed by position; the tree has one leaf per entry, in
+    order.  Rollback (Lemma 1) truncates both.
+    """
+
+    def __init__(self, genesis: GenesisEntry | None = None) -> None:
+        self._entries: list[LedgerEntry] = []
+        self._tree = MerkleTree()
+        self._batches: dict[int, BatchInfo] = {}
+        self._batch_order: list[int] = []
+        self._last_gov_index = 0
+        # Logical indices: every entry except view-change/new-view records
+        # consumes one.  Transactions keep their logical index across view
+        # changes even though the vc/nv entries shift physical positions,
+        # so re-executed batches reproduce the original ⟨t, i, o⟩ triples
+        # (§3.2: re-execution must match the original ¯G).
+        self._logical_to_position: list[int] = []
+        if genesis is not None:
+            self.append(genesis)
+
+    # -- append / read ---------------------------------------------------
+
+    def append(self, entry: LedgerEntry) -> int:
+        """Append an entry; returns its physical position."""
+        index = len(self._entries)
+        self._entries.append(entry)
+        self._tree.append(entry.digest())
+        if not isinstance(entry, (ViewChangesEntry, NewViewEntry)):
+            self._logical_to_position.append(index)
+        if isinstance(entry, PrePrepareEntry):
+            pp = entry.pre_prepare()
+            self._batches[pp.seqno] = BatchInfo(
+                seqno=pp.seqno,
+                view=pp.view,
+                pp_index=index,
+                first_tx=index + 1,
+                tx_count=0,
+                flags=pp.flags,
+            )
+            self._batch_order.append(pp.seqno)
+        elif isinstance(entry, (TxEntry, CheckpointTxEntry)):
+            if self._batch_order:
+                info = self._batches[self._batch_order[-1]]
+                if info.end == index:
+                    info.tx_count += 1
+            if isinstance(entry, TxEntry) and entry.request_wire[1].startswith("gov."):
+                self._last_gov_index = self.logical_size() - 1
+        elif isinstance(entry, GenesisEntry):
+            self._last_gov_index = self.logical_size() - 1
+        return index
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def logical_size(self) -> int:
+        """Number of logical indices consumed (excludes vc/nv entries)."""
+        return len(self._logical_to_position)
+
+    def entry_at_index(self, logical_index: int) -> LedgerEntry:
+        """The entry with the given *logical* index (the index space
+        transactions and receipts use)."""
+        if not 0 <= logical_index < len(self._logical_to_position):
+            raise LedgerError(
+                f"logical index {logical_index} out of range [0, {len(self._logical_to_position)})"
+            )
+        return self._entries[self._logical_to_position[logical_index]]
+
+    def entry(self, index: int) -> LedgerEntry:
+        if not 0 <= index < len(self._entries):
+            raise LedgerError(f"ledger index {index} out of range [0, {len(self._entries)})")
+        return self._entries[index]
+
+    def entries(self, start: int = 0, end: int | None = None) -> list[LedgerEntry]:
+        """Entries in ``[start, end)`` (default: to the end)."""
+        return self._entries[start : len(self._entries) if end is None else end]
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self._entries)
+
+    # -- Merkle tree -------------------------------------------------------
+
+    def root(self) -> Digest:
+        """Current root of the ledger tree M."""
+        return self._tree.root()
+
+    def root_at(self, size: int) -> Digest:
+        """Root of M when the ledger had ``size`` entries."""
+        return self._tree.root_at(size)
+
+    def tree(self) -> MerkleTree:
+        """The underlying tree (do not mutate)."""
+        return self._tree
+
+    # -- batches -----------------------------------------------------------
+
+    def batch(self, seqno: int) -> BatchInfo | None:
+        """Locator for the batch at ``seqno`` (None if absent)."""
+        return self._batches.get(seqno)
+
+    def batches(self) -> list[BatchInfo]:
+        """All batches in ledger order."""
+        return [self._batches[s] for s in self._batch_order]
+
+    def last_seqno(self) -> int:
+        """Sequence number of the newest batch (0 if none)."""
+        return self._batch_order[-1] if self._batch_order else 0
+
+    def batch_entries(self, seqno: int) -> list[LedgerEntry]:
+        """The tx/checkpoint entries of the batch at ``seqno``."""
+        info = self._batches.get(seqno)
+        if info is None:
+            raise LedgerError(f"no batch at seqno {seqno}")
+        return self._entries[info.first_tx : info.end]
+
+    def batch_pre_prepare(self, seqno: int):
+        """The pre-prepare message of the batch at ``seqno``."""
+        info = self._batches.get(seqno)
+        if info is None:
+            raise LedgerError(f"no batch at seqno {seqno}")
+        entry = self._entries[info.pp_index]
+        assert isinstance(entry, PrePrepareEntry)
+        return entry.pre_prepare()
+
+    # -- governance ----------------------------------------------------------
+
+    @property
+    def last_gov_index(self) -> int:
+        """Ledger index of the most recent governance transaction (ig)."""
+        return self._last_gov_index
+
+    def governance_indices(self) -> list[int]:
+        """Ledger indices of all governance transactions (genesis included)."""
+        result = []
+        for i, entry in enumerate(self._entries):
+            if isinstance(entry, GenesisEntry):
+                result.append(i)
+            elif isinstance(entry, TxEntry) and entry.request_wire[1].startswith("gov."):
+                result.append(i)
+        return result
+
+    # -- rollback (Lemma 1) ----------------------------------------------------
+
+    def truncate(self, size: int) -> list[LedgerEntry]:
+        """Roll back to the first ``size`` entries; returns removed entries
+        (oldest first) so the caller can undo kv-store effects."""
+        if not 0 <= size <= len(self._entries):
+            raise LedgerError(f"cannot truncate to {size}, ledger has {len(self._entries)}")
+        removed = self._entries[size:]
+        del self._entries[size:]
+        self._tree.truncate(size)
+        # Rebuild batch index for the removed suffix.
+        for entry in removed:
+            if isinstance(entry, PrePrepareEntry):
+                self._batches.pop(entry.pre_prepare().seqno, None)
+        self._batch_order = [s for s in self._batch_order if s in self._batches]
+        self._logical_to_position = [p for p in self._logical_to_position if p < size]
+        # Repair tx counts of a batch that lost a suffix of its entries.
+        if self._batch_order:
+            info = self._batches[self._batch_order[-1]]
+            info.tx_count = min(info.tx_count, max(0, len(self._entries) - info.first_tx))
+        # Recompute last governance index (logical).
+        self._last_gov_index = 0
+        for logical in range(len(self._logical_to_position) - 1, -1, -1):
+            entry = self._entries[self._logical_to_position[logical]]
+            if isinstance(entry, GenesisEntry) or (
+                isinstance(entry, TxEntry) and entry.request_wire[1].startswith("gov.")
+            ):
+                self._last_gov_index = logical
+                break
+        return removed
+
+    # -- fragments -----------------------------------------------------------
+
+    def fragment(self, start: int = 0, end: int | None = None) -> "LedgerFragment":
+        """A serializable slice ``[start, end)`` for auditors."""
+        end = len(self._entries) if end is None else end
+        if not 0 <= start <= end <= len(self._entries):
+            raise LedgerError(f"bad fragment range [{start}, {end})")
+        return LedgerFragment(
+            start=start,
+            entry_wires=tuple(e.to_wire() for e in self._entries[start:end]),
+        )
+
+
+@dataclass(frozen=True)
+class LedgerFragment:
+    """A contiguous slice of a ledger, as shipped to an auditor.
+
+    ``start`` is the ledger index of the first entry.  Fragments are pure
+    data (wire forms); :meth:`entries` re-types them.
+    """
+
+    start: int
+    entry_wires: tuple
+
+    def __len__(self) -> int:
+        return len(self.entry_wires)
+
+    @property
+    def end(self) -> int:
+        return self.start + len(self.entry_wires)
+
+    def entries(self) -> list[LedgerEntry]:
+        """Typed entries (raises :class:`LedgerError` on malformed data)."""
+        return [entry_from_wire(w) for w in self.entry_wires]
+
+    def entry(self, index: int) -> LedgerEntry:
+        """The entry at absolute ledger index ``index``."""
+        if not self.start <= index < self.end:
+            raise LedgerError(f"index {index} outside fragment [{self.start}, {self.end})")
+        return entry_from_wire(self.entry_wires[index - self.start])
+
+    def to_ledger(self) -> Ledger:
+        """Materialize a fragment that starts at 0 into a :class:`Ledger`."""
+        if self.start != 0:
+            raise LedgerError("only full-prefix fragments can be materialized")
+        ledger = Ledger()
+        for entry in self.entries():
+            ledger.append(entry)
+        return ledger

@@ -1,0 +1,250 @@
+"""IA-CCF clients (paper §2, §3.3, §5.2).
+
+A client signs transaction requests, broadcasts them to the replicas, and
+assembles receipts from ``N − f`` replies plus the designated replica's
+``replyx``.  Clients never hold the ledger; across reconfigurations they
+maintain a governance receipt chain fetched from replicas, which tells
+them the signing keys to verify receipts against.
+
+:class:`LPBFTClient` is the interactive client; :class:`LoadGenerator`
+drives open-loop benchmark load through the same code path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..crypto import signatures
+from ..crypto.hashing import Digest
+from ..errors import ReceiptError
+from ..lpbft.messages import Reply, ReplyX, TransactionRequest
+from ..network import Node
+from ..receipts import GovernanceChain, Receipt, ReceiptCollector, verify_chain
+from ..sim.costs import CostModel
+from ..sim.metrics import MetricsCollector
+
+
+class LPBFTClient(Node):
+    """A client: signs requests, collects receipts, tracks governance.
+
+    ``on_receipt`` (if given) is called with ``(tx_digest, receipt,
+    latency_seconds)`` whenever a receipt completes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        keypair: signatures.KeyPair,
+        service_name: Digest,
+        genesis_config,
+        replica_addresses: list[str],
+        params,
+        costs: CostModel | None = None,
+        metrics: MetricsCollector | None = None,
+        site: str = "local",
+        backend: signatures.SignatureBackend | None = None,
+        on_receipt: Callable[[Digest, Receipt, float], None] | None = None,
+        retry_timeout: float = 2.0,
+        verify_receipts: bool = True,
+    ) -> None:
+        super().__init__(address=name, site=site)
+        self.keypair = keypair
+        self.service_name = service_name
+        self.params = params
+        self.costs = costs or CostModel()
+        self.metrics = metrics or MetricsCollector()
+        self.backend = backend or signatures.default_backend()
+        self.replica_addresses = list(replica_addresses)
+        self.collector = ReceiptCollector(genesis_config, verify=verify_receipts, backend=self.backend)
+        self.gov_chain = GovernanceChain.genesis(genesis_config)
+        self.on_receipt = on_receipt
+        self.retry_timeout = retry_timeout
+        self.recording = True
+        self.max_seen_index = 0
+        self.receipts: dict[Digest, Receipt] = {}
+        self._nonce = 0
+        self._known_gov_index = 0
+        self._fetching_gov = False
+        self._retry_cursor = 0
+
+    # -- submitting requests ----------------------------------------------------
+
+    def submit(
+        self,
+        procedure: str,
+        args: dict,
+        min_index: int | None = None,
+    ) -> Digest:
+        """Sign and broadcast a transaction request; returns ``H(t)``.
+
+        ``min_index`` defaults to one past the largest ledger index this
+        client has a receipt for, encoding real-time ordering dependencies
+        (§B.1 "minimum ledger index")."""
+        self._nonce += 1
+        request = TransactionRequest(
+            procedure=procedure,
+            args=args,
+            client=self.keypair.public_key,
+            service=self.service_name,
+            min_index=self.max_seen_index + 1 if min_index is None else min_index,
+            nonce=self._nonce,
+        )
+        if self.params.sign_client_requests:
+            signature = self.backend.sign(self.keypair, request.signed_payload())
+        else:
+            signature = b""
+        request = request.with_signature(signature)
+        tx_digest = request.request_digest()
+        self.collector.track(tx_digest, request.to_wire(), now=self.now)
+        payload = ("request", request.to_wire())
+        for address in self.replica_addresses:
+            self.send(address, payload)
+        return tx_digest
+
+    def pending_count(self) -> int:
+        return len(self.collector.pending_digests())
+
+    def receipt_for(self, tx_digest: Digest) -> Receipt | None:
+        return self.receipts.get(tx_digest)
+
+    # -- message handling -----------------------------------------------------------
+
+    def on_message(self, src: str, msg: Any) -> None:
+        # Client CPU is deliberately not modeled: the paper scales client
+        # machines with offered load, so clients are never the bottleneck.
+        kind = msg[0]
+        if kind == "reply":
+            reply = Reply.from_wire(msg[1])
+            for tx_digest in msg[2]:
+                finished = self.collector.add_reply(tx_digest, reply)
+                if finished is not None:
+                    self._complete(tx_digest, finished)
+        elif kind == "replyx":
+            replyx = ReplyX.from_wire(msg[1])
+            self._note_gov_index(replyx.gov_index)
+            finished = self.collector.add_replyx(replyx.tx_digest, replyx)
+            if finished is not None:
+                self._complete(replyx.tx_digest, finished)
+        elif kind == "gov-chain-resp":
+            self._handle_gov_chain(msg[1])
+
+    def _complete(self, tx_digest: Digest, receipt: Receipt) -> None:
+        if tx_digest in self.receipts:
+            return
+        self.receipts[tx_digest] = receipt
+        if receipt.index is not None:
+            self.max_seen_index = max(self.max_seen_index, receipt.index)
+        sent = self.collector.sent_at(tx_digest)
+        latency = 0.0 if sent is None else self.now - sent
+        if self.recording:
+            self.metrics.latency.record(latency)
+            self.metrics.bump("receipts_completed")
+        if self.on_receipt is not None:
+            self.on_receipt(tx_digest, receipt, latency)
+
+    # -- governance chain maintenance (§5.2) -------------------------------------------
+
+    def _note_gov_index(self, gov_index: int) -> None:
+        """A receipt referencing a newer governance transaction than we
+        know about triggers a chain fetch."""
+        if gov_index > self._known_gov_index and not self._fetching_gov:
+            self._fetching_gov = True
+            self.send(self.replica_addresses[0], ("get-gov-chain",))
+
+    def _handle_gov_chain(self, wire: tuple) -> None:
+        self._fetching_gov = False
+        try:
+            chain = GovernanceChain.from_wire(wire)
+            schedule = verify_chain(chain, self.params.pipeline, self.backend)
+        except ReceiptError:
+            self.metrics.bump("bad_gov_chains")
+            return
+        if len(chain) > len(self.gov_chain):
+            self.gov_chain = chain
+            self.collector.update_config(schedule.current())
+            self.metrics.bump("gov_chain_updates")
+            if chain.links:
+                link = chain.links[-1]
+                self._known_gov_index = max(
+                    self._known_gov_index, link.propose_receipt.index or 0
+                )
+
+    def config_for_receipt(self, receipt: Receipt):
+        """The configuration a receipt must be verified against, from the
+        client's governance chain (§5.2)."""
+        schedule = verify_chain(self.gov_chain, self.params.pipeline, self.backend)
+        return schedule.config_at_seqno(receipt.seqno)
+
+    # -- retries -----------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._arm_retry_timer()
+
+    def _arm_retry_timer(self) -> None:
+        self.set_timer(self.retry_timeout, self._on_retry_timer)
+
+    def _on_retry_timer(self) -> None:
+        """Retransmit stale requests and ask an alternate replica for the
+        missing ``replyx`` (§3.3: "it retransmits the request and selects
+        a different replica to send back replyx")."""
+        now = self.now
+        for tx_digest in self.collector.pending_digests():
+            sent = self.collector.sent_at(tx_digest)
+            if sent is None or now - sent < self.retry_timeout:
+                continue
+            pending = self.collector._pending[tx_digest]
+            payload = ("request", pending.request_wire)
+            for address in self.replica_addresses:
+                self.send(address, payload)
+            self._retry_cursor = (self._retry_cursor + 1) % len(self.replica_addresses)
+            self.send(self.replica_addresses[self._retry_cursor], ("get-replyx", tx_digest))
+            self.metrics.bump("request_retries")
+        self._arm_retry_timer()
+
+
+class LoadGenerator(LPBFTClient):
+    """Open-loop load: submits workload transactions at a target rate.
+
+    ``workload`` must provide ``next_transaction(rng) -> (procedure,
+    args)``; arrivals are deterministic at ``1 / rate`` spacing so runs
+    are reproducible.
+    """
+
+    def __init__(
+        self,
+        *args,
+        workload=None,
+        rate: float = 1000.0,
+        start_at: float = 0.0,
+        stop_at: float | None = None,
+        max_in_flight: int | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.workload = workload
+        self.rate = rate
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self.max_in_flight = max_in_flight
+        self.submitted = 0
+
+    def on_start(self) -> None:
+        super().on_start()
+        if self.workload is not None and self.rate > 0:
+            self.set_timer(max(0.0, self.start_at - self.now), self._tick)
+
+    def _tick(self) -> None:
+        if self.stop_at is not None and self.now >= self.stop_at:
+            return
+        interval = 1.0 / self.rate
+        # Submit every transaction due in this tick (ticks are batched at
+        # 1 ms granularity to keep the event count manageable at high rates).
+        tick_span = max(interval, 1e-3)
+        due = max(1, round(tick_span * self.rate))
+        for _ in range(due):
+            if self.max_in_flight is not None and self.pending_count() >= self.max_in_flight:
+                break
+            procedure, args = self.workload.next_transaction()
+            self.submit(procedure, args, min_index=0)
+            self.submitted += 1
+        self.set_timer(tick_span, self._tick)

@@ -1,0 +1,57 @@
+"""Protocol parameters and feature toggles.
+
+``ProtocolParams`` collects the tunables of §3 (pipeline depth P, batch
+size, checkpoint interval C, timers) and the feature toggles used by the
+Tab. 3 overhead-breakdown variants and the baselines:
+
+- ``receipts``: off → IA-CCF-NoReceipt (variant b);
+- ``checkpoints``: off → variant c;
+- ``sign_client_requests``: off → variant e;
+- ``use_signatures``: off (MACs only) → variant f;
+- ``ledger``: off → variant g;
+- ``execute_transactions``: off (empty requests) → variant h;
+- ``peer_review``: on → IA-CCF-PeerReview (sign every message, ack every
+  message, sign every per-transaction reply).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """L-PBFT tunables and feature toggles."""
+
+    pipeline: int = 2  # P: concurrent batches (paper: 2 LAN, 6 WAN)
+    max_batch: int = 300  # max requests per batch (paper: 300 LAN, 800 WAN)
+    checkpoint_interval: int = 100  # C (paper: 10K LAN, 4K WAN)
+    view_change_timeout: float = 1.0  # seconds without progress before suspecting
+    batch_delay: float = 0.0005  # primary waits this long to fill a batch
+    request_queue_cap: int = 3000  # admission control: drop new requests beyond this backlog
+
+    # Feature toggles (Tab. 3 variants).
+    receipts: bool = True
+    checkpoints: bool = True
+    sign_client_requests: bool = True
+    use_signatures: bool = True
+    ledger: bool = True
+    execute_transactions: bool = True
+    peer_review: bool = False
+
+    def variant(self, **overrides) -> "ProtocolParams":
+        """A copy with some fields overridden."""
+        return replace(self, **overrides)
+
+    def __post_init__(self) -> None:
+        if self.pipeline < 1:
+            raise ValueError("pipeline depth P must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.checkpoint_interval < self.pipeline + 1:
+            raise ValueError("checkpoint interval C must exceed pipeline depth P")
+
+
+# Named presets matching the paper's deployments.
+LAN_PARAMS = ProtocolParams(pipeline=2, max_batch=300)
+WAN_PARAMS = ProtocolParams(pipeline=6, max_batch=800)

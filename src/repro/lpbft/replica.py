@@ -1,0 +1,1331 @@
+"""The L-PBFT replica (paper §3, Alg. 1; reconfiguration §5.1).
+
+A replica is a :class:`~repro.network.Node` driven entirely by messages
+and timers.  The primary batches client requests, executes them *early*
+(before agreement), and signs a pre-prepare carrying the roots of the
+ledger tree M and the per-batch tree G; backups re-execute and send
+prepares only if their roots match, which makes divergent execution a
+liveness problem rather than a safety one.  Commit messages carry revealed
+nonces instead of signatures (the nonce commitment scheme), halving
+signing work.  Committed batches leave behind *commitment evidence* —
+N−f−1 prepares plus N−f nonces — which is ordered into the ledger P
+batches later.
+
+The same class plays backup, primary, passive mirror (a replica not in the
+current configuration tracks the ledger but emits nothing), and retiring
+roles; the active configuration per sequence number comes from the
+replica's :class:`~repro.governance.schedule.ConfigSchedule`.
+
+View changes (Alg. 2) and state sync live in
+:class:`~repro.lpbft.viewchange.ViewChangeMixin`; the deployable replica
+is :class:`~repro.lpbft.LPBFTReplica`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .. import codec
+from ..crypto import signatures
+from ..crypto.hashing import Digest, digest_value
+from ..crypto.nonces import NonceCommitment, commit_nonce, new_nonce
+from ..errors import ProtocolError, TransactionAborted
+from ..governance.configuration import Configuration
+from ..governance.schedule import ConfigSchedule, ConfigSpan
+from ..governance.transactions import install_configuration
+from ..kvstore import Checkpoint, KVStore, ProcedureRegistry
+from ..ledger import (
+    CheckpointTxEntry,
+    EvidenceEntry,
+    GenesisEntry,
+    Ledger,
+    NoncesEntry,
+    PrePrepareEntry,
+    TxEntry,
+)
+from ..merkle import MerkleTree
+from ..network import Node
+from ..receipts.chain import GovernanceChain, GovernanceLink
+from ..receipts.receipt import Receipt
+from ..sim.costs import CostModel
+from ..sim.metrics import MetricsCollector
+from .checkpointing import CheckpointDirectory
+from .config import ProtocolParams
+from .messages import (
+    BATCH_CHECKPOINT,
+    BATCH_END_OF_CONFIG,
+    BATCH_REGULAR,
+    BATCH_START_OF_CONFIG,
+    Commit,
+    Prepare,
+    PrePrepare,
+    Reply,
+    ReplyX,
+    TransactionRequest,
+    bitmap_members,
+    bitmap_of,
+)
+
+# Digest of an empty write set, used as the ws component for aborted
+# transactions so outputs stay comparable during replay.
+EMPTY_WS = digest_value({"writes": {}, "deleted": ()})
+
+
+def designated_replica(tx_digest: Digest, config: Configuration) -> int:
+    """The replica that sends the ``replyx`` for a transaction (§3.3:
+    "a designated replica, chosen based on t")."""
+    ids = config.replica_ids()
+    return ids[int.from_bytes(tx_digest[:8], "big") % len(ids)]
+
+
+def execute_procedure(
+    kv: KVStore, registry: ProcedureRegistry, request: TransactionRequest
+) -> tuple[dict, int]:
+    """Run one transaction, returning ``(output, kv_op_count)``.
+
+    The output is the ledger's ``o`` component: the client-visible reply
+    plus the write-set digest (so replay detects silently-altered writes
+    even when the reply matches).  Aborts commit nothing and yield a
+    deterministic error reply.  Shared by replicas and the auditor's
+    replay (§4.1).
+    """
+    tx = kv.begin()
+    try:
+        result = registry.invoke(request.procedure, tx, request.args)
+    except TransactionAborted as abort:
+        ops = tx.op_count
+        tx._discard()
+        return {"reply": {"ok": False, "error": str(abort)}, "ws": EMPTY_WS}, max(1, ops)
+    ops = tx.op_count
+    record = tx._commit()
+    return {"reply": result, "ws": record.write_set_digest()}, max(1, ops)
+
+
+@dataclass
+class BatchRecord:
+    """Everything a replica remembers about one executed batch."""
+
+    seqno: int
+    view: int
+    flags: int
+    pp: PrePrepare | None = None
+    pp_digest: Digest | None = None
+    tios: list = field(default_factory=list)  # (request_wire|synthetic, index, output)
+    g_tree: MerkleTree = field(default_factory=MerkleTree)
+    tx_digests: list = field(default_factory=list)  # request digest per tio (None for cp tx)
+    clients: dict = field(default_factory=dict)  # client pubkey -> [tx digests]
+    kv_mark: int = 0  # kv.tx_count before the batch executed
+    ledger_start: int = 0  # ledger size before the batch's evidence entries
+    ledger_end: int = 0  # ledger size after the batch's last entry
+    prepared: bool = False
+    committed: bool = False
+
+    def request_count(self) -> int:
+        return sum(1 for d in self.tx_digests if d is not None)
+
+
+@dataclass
+class ReconfigState:
+    """Progress of an in-flight reconfiguration (§5.1)."""
+
+    new_config: Configuration
+    vote_seqno: int  # batch containing the final vote
+    committed_root: Digest  # ledger Merkle root at the final vote batch
+
+    def eoc_range(self, pipeline: int) -> range:
+        """Sequence numbers of the 2P end-of-configuration batches."""
+        return range(self.vote_seqno + 1, self.vote_seqno + 2 * pipeline + 1)
+
+    def activation_seqno(self, pipeline: int) -> int:
+        return self.vote_seqno + 2 * pipeline + 1
+
+
+class LPBFTReplicaCore(Node):
+    """Normal-case L-PBFT (Alg. 1) plus checkpoints and reconfiguration.
+
+    Entry points are network messages (dispatched by name in
+    :meth:`on_message`) and inspection helpers used by deployments,
+    audits, and tests (``ledger``, ``kv``, ``schedule``,
+    ``receipt_from_ledger``).
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        keypair: signatures.KeyPair,
+        genesis_config: Configuration,
+        registry: ProcedureRegistry,
+        params: ProtocolParams,
+        costs: CostModel | None = None,
+        site: str = "local",
+        metrics: MetricsCollector | None = None,
+        behavior: "object | None" = None,
+        backend: signatures.SignatureBackend | None = None,
+        replica_directory: dict[int, str] | None = None,
+        initial_state: tuple[dict, int] | None = None,
+    ) -> None:
+        super().__init__(address=f"replica-{replica_id}", site=site)
+        self.id = replica_id
+        self.keypair = keypair
+        self.params = params
+        self.costs = costs or CostModel()
+        self.metrics = metrics or MetricsCollector()
+        self.behavior = behavior
+        self.backend = backend or signatures.default_backend()
+        self.registry = registry
+
+        # Service identity and replicated state.
+        genesis_entry = GenesisEntry(config_wire=genesis_config.to_wire())
+        self.service_name = genesis_entry.service_name()
+        self.schedule = ConfigSchedule.genesis(genesis_config)
+        self.ledger = Ledger(genesis_entry)
+        # ``initial_state`` is application state that exists at genesis
+        # (e.g. pre-populated benchmark accounts); it is part of the
+        # genesis checkpoint, so audits replay on top of it.
+        if initial_state is not None:
+            state, acc = initial_state
+            self.kv = KVStore(initial=state, acc_hint=acc)
+        else:
+            self.kv = KVStore()
+        self.kv.execute(lambda tx: install_configuration(tx, genesis_config))
+        self.checkpoints: dict[int, Checkpoint] = {
+            0: Checkpoint.capture(self.kv, 0, len(self.ledger), self.ledger.root())
+        }
+        self.cp_directory = CheckpointDirectory(self.checkpoints[0].digest())
+        self.last_taken_cp = 0
+        self.last_recorded_cp = -1
+
+        # Protocol state (Alg. 1).
+        self.view = 0
+        self.next_seqno = 1  # next batch to pre-prepare (primary) / accept (backup)
+        self.prepared_upto = 0
+        self.committed_upto = 0
+        self.ready = True
+
+        # Stores.
+        self.requests: dict[Digest, TransactionRequest] = {}  # T
+        self.request_order: list[Digest] = []
+        self.request_sources: dict[Digest, str] = {}
+        self.batches: dict[int, BatchRecord] = {}
+        self.pps: dict[tuple[int, int], PrePrepare] = {}
+        self.ppd_index: dict[Digest, tuple[int, int]] = {}
+        self.prepares_by_ppd: dict[Digest, dict[int, Prepare]] = {}
+        self.commit_nonces: dict[tuple[int, int], dict[int, bytes]] = {}
+        self.pending_commits: dict[tuple[int, int], list[Commit]] = {}
+        self.own_nonces: dict[tuple[int, int], NonceCommitment] = {}
+        self.tx_locations: dict[Digest, tuple[int, int]] = {}  # digest -> (seqno, index)
+        self.pending_pps: list[tuple[tuple, tuple]] = []  # stashed (pp_wire, digests)
+        # View of the last pre-prepare dropped for being *below* our view —
+        # a sign we over-advanced and the service moved on without us.
+        self._last_lower_view_drop: int | None = None
+
+        # Reconfiguration.
+        self.reconfig: ReconfigState | None = None
+        self.gov_chain = GovernanceChain.genesis(genesis_config)
+        self.gov_tx_log: list[tuple[int, Digest, str]] = []  # (seqno, tx digest, procedure)
+
+        # Directory of replica addresses (present and proposed members).
+        self.replica_directory = dict(replica_directory or {})
+        self.replica_directory.setdefault(replica_id, self.address)
+
+        # Timers.
+        self._batch_timer: int | None = None
+        self._nonce_counter = 0
+
+        self._init_view_change_state()
+
+    # Overridden by ViewChangeMixin; present so the core runs standalone in
+    # tests that never change views.
+    def _init_view_change_state(self) -> None:
+        pass
+
+    # -- identity and quorum helpers ------------------------------------------
+
+    def config_for(self, seqno: int) -> Configuration:
+        return self.schedule.config_at_seqno(seqno)
+
+    def current_config(self) -> Configuration:
+        return self.config_for(self.next_seqno)
+
+    def is_member(self, seqno: int | None = None) -> bool:
+        """True iff this replica belongs to the configuration that prepares
+        the batch at ``seqno`` (default: the next batch)."""
+        config = self.config_for(self.next_seqno if seqno is None else seqno)
+        return config.has_replica(self.id)
+
+    def is_primary(self, seqno: int | None = None) -> bool:
+        config = self.config_for(self.next_seqno if seqno is None else seqno)
+        return config.has_replica(self.id) and config.primary_for_view(self.view) == self.id
+
+    def peer_addresses(self) -> list[str]:
+        """Every replica address in the directory except our own.
+
+        Broadcasting to the whole directory (not just current members)
+        lets replicas of a proposed configuration mirror the ledger before
+        their configuration activates (§5.1)."""
+        return [addr for rid, addr in sorted(self.replica_directory.items()) if rid != self.id]
+
+    # -- crypto with cost accounting -------------------------------------------------
+
+    def _sign(self, payload: bytes) -> bytes:
+        if not self.params.use_signatures:
+            self.charge(self.costs.mac)
+            return b""
+        self.charge(self.costs.sign)
+        self.metrics.bump("signatures_created")
+        return self.backend.sign(self.keypair, payload)
+
+    def _verify(self, public_key: bytes, payload: bytes, signature: bytes) -> bool:
+        if not self.params.use_signatures:
+            self.charge(self.costs.mac)
+            return True
+        # Signature checking is parallelized across the machine's cores
+        # (§3.4 "Cryptography"), so the serial CPU is charged 1/cores.
+        self.charge(self.costs.parallel(self.costs.verify))
+        self.metrics.bump("signatures_verified")
+        return self.backend.verify(public_key, payload, signature)
+
+    def _fresh_nonce(self) -> NonceCommitment:
+        self._nonce_counter += 1
+        seed = codec.encode((self.id, self._nonce_counter, self.keypair.public_key))
+        return new_nonce(seed)
+
+    # -- message dispatch ---------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._arm_view_change_timer()
+
+    def on_message(self, src: str, msg: Any) -> None:
+        if not isinstance(msg, tuple) or not msg:
+            raise ProtocolError(f"malformed message from {src!r}")
+        kind = msg[0]
+        # Channel authentication: all traffic is MAC'd (§3.4).
+        self.charge(self.costs.message_overhead + self.costs.mac)
+        self.metrics.bump("messages_received")
+        if self.params.peer_review and kind in _PEER_REVIEW_ACKED:
+            # PeerReview baseline: sign an acknowledgement for every
+            # protocol message (§6.1); the ack is a real message so the
+            # extra network load is modeled too.
+            self.charge(self.costs.sign)
+            self.send(src, ("ack", digest_value((kind, self.id))))
+        handler_name = self._DISPATCH.get(kind)
+        if handler_name is None:
+            raise ProtocolError(f"unknown message kind {kind!r}")
+        getattr(self, handler_name)(src, msg)
+
+    # -- client requests (Alg. 1 line 1) ------------------------------------------------
+
+    def handle_request(
+        self, src: str, msg: tuple, force: bool = False, record_source: bool = True
+    ) -> None:
+        request = TransactionRequest.from_wire(msg[1])
+        tx_digest = request.request_digest()
+        if tx_digest in self.tx_locations or tx_digest in self.requests:
+            if record_source:
+                self.request_sources.setdefault(tx_digest, src)
+            return
+        if request.service != self.service_name:
+            return  # addressed to a different service; cannot be replayed here
+        if not force and len(self.requests) >= self.params.request_queue_cap:
+            # Admission control: shed load instead of building an unbounded
+            # CPU backlog (clients retransmit, §3.3).
+            self.metrics.bump("requests_shed")
+            return
+        if self.params.sign_client_requests:
+            if not self._verify(request.client, request.signed_payload(), request.signature):
+                self.metrics.bump("bad_client_signatures")
+                return
+        self.requests[tx_digest] = request
+        self.request_order.append(tx_digest)
+        if record_source:
+            self.request_sources[tx_digest] = src
+        if self.is_primary() and self.ready:
+            self._schedule_batch()
+        self._retry_pending_pps()
+
+    def _schedule_batch(self) -> None:
+        if self._batch_timer is not None:
+            return
+
+        def fire() -> None:
+            self._batch_timer = None
+            self.maybe_send_pre_prepare()
+
+        self._batch_timer = self.set_timer(self.params.batch_delay, fire)
+
+    # -- commitment evidence ----------------------------------------------------------
+
+    def _build_evidence(self, seqno: int) -> tuple[EvidenceEntry, NoncesEntry] | None:
+        """Assemble ``(Ps, Ks)`` for a committed batch from the message
+        store: N−f revealed nonces (primary's included) and the matching
+        N−f−1 prepare messages (§3.1)."""
+        record = self.batches.get(seqno)
+        if record is None or record.pp is None:
+            return None
+        view = record.view
+        config = self.config_for(seqno)
+        primary_id = config.primary_for_view(view)
+        nonces_by = self.commit_nonces.get((view, seqno), {})
+        prepares = self.prepares_by_ppd.get(record.pp_digest, {})
+        eligible = sorted(r for r in nonces_by if r == primary_id or r in prepares)
+        if primary_id not in eligible or len(eligible) < config.quorum:
+            return None
+        chosen = sorted([primary_id] + [r for r in eligible if r != primary_id][: config.quorum - 1])
+        evidence = EvidenceEntry(
+            seqno=seqno,
+            view=view,
+            prepare_wires=tuple(prepares[r].to_wire() for r in chosen if r != primary_id),
+        )
+        nonces = NoncesEntry(
+            seqno=seqno,
+            view=view,
+            bitmap=bitmap_of(chosen),
+            nonces=tuple(nonces_by[r] for r in chosen),
+        )
+        return evidence, nonces
+
+    def _evidence_matching(self, seqno: int, bitmap: int) -> tuple[EvidenceEntry, NoncesEntry] | None:
+        """Assemble evidence for exactly the replicas the primary chose —
+        backups must append *the same* Ps−P and Ks−P (§3.1)."""
+        record = self.batches.get(seqno)
+        if record is None or record.pp is None:
+            return None
+        view = record.view
+        config = self.config_for(seqno)
+        primary_id = config.primary_for_view(view)
+        chosen = bitmap_members(bitmap)
+        nonces_by = self.commit_nonces.get((view, seqno), {})
+        prepares = self.prepares_by_ppd.get(record.pp_digest, {})
+        for r in chosen:
+            if r not in nonces_by or (r != primary_id and r not in prepares):
+                return None
+        evidence = EvidenceEntry(
+            seqno=seqno,
+            view=view,
+            prepare_wires=tuple(prepares[r].to_wire() for r in chosen if r != primary_id),
+        )
+        nonces = NoncesEntry(
+            seqno=seqno,
+            view=view,
+            bitmap=bitmap,
+            nonces=tuple(nonces_by[r] for r in chosen),
+        )
+        return evidence, nonces
+
+    def _evidence_available(self, seqno: int) -> bool:
+        """hasEvidence (Alg. 1 line 5)."""
+        return seqno < 1 or self._build_evidence(seqno) is not None
+
+    # -- primary: building batches (Alg. 1 line 4) -----------------------------------------
+
+    def _select_requests(self, base_index: int) -> list[Digest]:
+        """Pick the next batch's requests in arrival order, honoring each
+        request's minimum ledger index (mi, §B.1)."""
+        # Compact consumed digests out of the arrival-order queue.
+        if len(self.request_order) > len(self.requests):
+            self.request_order = [d for d in self.request_order if d in self.requests]
+        selected: list[Digest] = []
+        projected = base_index
+        for tx_digest in self.request_order:
+            if len(selected) >= self.params.max_batch:
+                break
+            request = self.requests.get(tx_digest)
+            if request is None:
+                continue
+            if request.min_index > projected:
+                continue  # stays queued until the ledger grows past mi
+            selected.append(tx_digest)
+            projected += 1
+        return selected
+
+    def maybe_send_pre_prepare(self) -> None:
+        """Alg. 1 ``sendPrePrepare``: batch, execute early, sign, ship.
+        Loops while more batches can be emitted (reconfiguration sequences
+        emit several empty batches back to back)."""
+        while True:
+            if not self.ready:
+                return
+            s = self.next_seqno
+            if self.reconfig is not None and s == self.reconfig.activation_seqno(self.params.pipeline):
+                # The activation batch is proposed by the *new*
+                # configuration's primary, which need not be the old one.
+                if self.reconfig.new_config.primary_for_view(self.view) != self.id:
+                    return
+                if not self._evidence_available(s - self.params.pipeline):
+                    return
+                self._activate_configuration()
+                flags = BATCH_CHECKPOINT
+                self._emit_batch(s, flags, [])
+                continue
+            if not (self.is_primary() and self.is_member()):
+                return
+            if self.reconfig is not None and s in self.reconfig.eoc_range(self.params.pipeline):
+                flags = BATCH_END_OF_CONFIG
+            elif self._start_of_config_pending(s):
+                flags = BATCH_START_OF_CONFIG
+            else:
+                flags = BATCH_REGULAR
+            if not self._evidence_available(s - self.params.pipeline):
+                return
+            if flags == BATCH_REGULAR:
+                base = self.ledger.logical_size() + self._evidence_entry_count(s) + 1
+                selected = self._select_requests(base + (1 if self._checkpoint_due(s) else 0))
+                if not selected and not self._checkpoint_due(s):
+                    return
+            else:
+                selected = []
+            self._emit_batch(s, flags, selected)
+
+    def _evidence_entry_count(self, seqno: int) -> int:
+        return 2 if seqno - self.params.pipeline >= 1 else 0
+
+    def _checkpoint_due(self, seqno: int) -> bool:
+        """Does the regular batch at ``seqno`` carry an interval checkpoint
+        transaction (recording the newest unrecorded checkpoint, §3.4)?"""
+        if not self.params.checkpoints:
+            return False
+        if seqno % self.params.checkpoint_interval != 0:
+            return False
+        return self.last_taken_cp > self.last_recorded_cp
+
+    def _start_of_config_pending(self, seqno: int) -> bool:
+        """True while the P start-of-configuration batches after an
+        activation are still owed (§5.1)."""
+        span = self.schedule.current_span()
+        if span.config.number == 0:
+            return False
+        first_soc = span.start_seqno + 1
+        return first_soc <= seqno < first_soc + self.params.pipeline
+
+    def _emit_batch(self, s: int, flags: int, selected: list[Digest]) -> None:
+        """Execute and pre-prepare one batch (primary side)."""
+        ledger_mark = len(self.ledger)
+        kv_mark = self.kv.tx_count
+        ev_bitmap = self._append_evidence(s)
+        record = self._execute_batch(s, self.view, flags, [self.requests[d] for d in selected], selected)
+        record.ledger_start = ledger_mark
+        record.kv_mark = kv_mark
+        pp = self._finalize_batch(record, ev_bitmap)
+        batch_digests = tuple(d for d in record.tx_digests if d is not None)
+        payload = ("pre-prepare", pp.to_wire(), batch_digests)
+        for dst in self.peer_addresses():
+            out = payload if self.behavior is None else self.behavior.outgoing_pre_prepare(self, dst, payload)
+            if out is not None:
+                self.send(dst, out)
+        self.metrics.bump("batches_proposed")
+        self._after_local_pre_prepare(record)
+
+    def _append_evidence(self, s: int) -> int:
+        """Append the evidence entries for batch ``s − P`` (if owed);
+        returns the evidence bitmap for the pre-prepare."""
+        ev_seqno = s - self.params.pipeline
+        if ev_seqno < 1:
+            return 0
+        built = self._build_evidence(ev_seqno)
+        if built is None:
+            raise ProtocolError(f"evidence for batch {ev_seqno} not available")
+        evidence, nonces = built
+        self.ledger.append(evidence)
+        self.ledger.append(nonces)
+        if self.params.ledger:
+            self.charge(2 * self.costs.ledger_append)
+        return nonces.bitmap
+
+    def _append_given_evidence(self, pair: tuple[EvidenceEntry, NoncesEntry] | None) -> int:
+        if pair is None:
+            return 0
+        evidence, nonces = pair
+        self.ledger.append(evidence)
+        self.ledger.append(nonces)
+        if self.params.ledger:
+            self.charge(2 * self.costs.ledger_append)
+        return nonces.bitmap
+
+    # -- shared early execution --------------------------------------------------------
+
+    def _execute_batch(
+        self,
+        s: int,
+        view: int,
+        flags: int,
+        request_list: list[TransactionRequest],
+        tx_digests: list[Digest],
+    ) -> BatchRecord:
+        """Early execution shared by primary and backups: run the batch's
+        transactions, build the per-batch tree G, and stage the (t, i, o)
+        entries.  The caller has already appended the evidence entries;
+        the pre-prepare entry will sit at the current ledger length, so
+        the first transaction index is ``len(ledger) + 1``."""
+        record = BatchRecord(seqno=s, view=view, flags=flags, kv_mark=self.kv.tx_count)
+        # The pre-prepare entry consumes the next logical index; the first
+        # transaction takes the one after (logical indices skip vc/nv
+        # entries, so re-executed batches reuse their original indices).
+        next_index = self.ledger.logical_size() + 1
+
+        # Checkpoint transactions lead their batch (§3.4, §5.1).
+        if flags == BATCH_CHECKPOINT or (flags == BATCH_REGULAR and self._checkpoint_due(s)):
+            cp_seqno = self.last_taken_cp
+            cp = self.checkpoints[cp_seqno]
+            entry = CheckpointTxEntry(
+                cp_seqno=cp_seqno,
+                cp_digest=cp.digest(),
+                ledger_size=cp.ledger_size,
+                ledger_root=cp.ledger_root,
+                index=next_index,
+            )
+            record.tios.append(entry.tio())
+            record.g_tree.append(digest_value(entry.tio()))
+            record.tx_digests.append(None)
+            next_index += 1
+            self.last_recorded_cp = cp_seqno
+            self.cp_directory.note_record(s, cp_seqno, cp.digest())
+
+        for request, tx_digest in zip(request_list, tx_digests):
+            output = self._execute_request(request)
+            if self.behavior is not None:
+                output = self.behavior.mutate_output(self, request, output)
+            tio = (request.to_wire(), next_index, output)
+            record.tios.append(tio)
+            record.g_tree.append(digest_value(tio))
+            record.tx_digests.append(tx_digest)
+            record.clients.setdefault(request.client, []).append(tx_digest)
+            self.tx_locations[tx_digest] = (s, next_index)
+            next_index += 1
+            self.requests.pop(tx_digest, None)
+            if request.procedure.startswith("gov."):
+                # A governance transaction ends the batch (§5.1 summary).
+                self.gov_tx_log.append((s, tx_digest, request.procedure))
+                break
+        return record
+
+    def _execute_request(self, request: TransactionRequest) -> dict:
+        if not self.params.execute_transactions:
+            return {"reply": {"ok": True}, "ws": EMPTY_WS}
+        output, ops = execute_procedure(self.kv, self.registry, request)
+        self.charge(self.costs.execute_tx(ops, len(self.kv)))
+        self.metrics.bump("transactions_executed")
+        return output
+
+    def _finalize_batch(self, record: BatchRecord, ev_bitmap: int) -> PrePrepare:
+        """Sign the pre-prepare for a freshly executed batch (primary)."""
+        s, view = record.seqno, record.view
+        nonce = self._fresh_nonce()
+        self.own_nonces[(view, s)] = nonce
+        cp_ref_seqno, cp_digest = self.cp_directory.reference_for(s)
+        committed_root = b""
+        if record.flags == BATCH_END_OF_CONFIG and self.reconfig is not None:
+            committed_root = self.reconfig.committed_root
+        pp = PrePrepare(
+            view=view,
+            seqno=s,
+            root_m=self.ledger.root(),
+            root_g=record.g_tree.root(),
+            nonce_commitment=nonce.commitment,
+            evidence_bitmap=ev_bitmap,
+            gov_index=self.ledger.last_gov_index,
+            checkpoint_digest=cp_digest,
+            flags=record.flags,
+            committed_root=committed_root,
+        )
+        pp = pp.with_signature(self._sign(pp.signed_payload()))
+        self._install_batch(record, pp)
+        return pp
+
+    def _install_batch(self, record: BatchRecord, pp: PrePrepare) -> None:
+        """Append the pre-prepare entry and tx entries; index the batch."""
+        record.pp = pp
+        record.pp_digest = pp.digest()
+        self.ledger.append(PrePrepareEntry(pp_wire=pp.to_wire()))
+        for tio, tx_digest in zip(record.tios, record.tx_digests):
+            request_wire, index, output = tio
+            if tx_digest is None and isinstance(request_wire, tuple) and request_wire[0] == "__checkpoint__":
+                _, cp_seqno, cp_digest, ledger_size, ledger_root = request_wire
+                self.ledger.append(
+                    CheckpointTxEntry(
+                        cp_seqno=cp_seqno,
+                        cp_digest=cp_digest,
+                        ledger_size=ledger_size,
+                        ledger_root=ledger_root,
+                        index=index,
+                    )
+                )
+            else:
+                self.ledger.append(TxEntry(request_wire=request_wire, index=index, output=output))
+        if self.params.ledger:
+            self.charge((1 + len(record.tios)) * (self.costs.ledger_append + 2 * self.costs.hash_fixed))
+        record.ledger_end = len(self.ledger)
+        self.batches[record.seqno] = record
+        self.pps[(record.view, record.seqno)] = pp
+        self.ppd_index[record.pp_digest] = (record.view, record.seqno)
+
+    def _after_local_pre_prepare(self, record: BatchRecord) -> None:
+        """Shared post-processing: advance, checkpoint, notice referendums,
+        and re-check preparedness."""
+        self.next_seqno = max(self.next_seqno, record.seqno + 1)
+        self._maybe_take_checkpoint(record)
+        self._maybe_note_referendum(record)
+        self._check_prepared(record.view, record.seqno)
+
+    # -- backups: accepting pre-prepares (Alg. 1 line 15) ---------------------------------
+
+    def handle_pre_prepare(self, src: str, msg: tuple) -> None:
+        self.pending_pps.append((msg[1], tuple(msg[2])))
+        self._retry_pending_pps()
+
+    def _retry_pending_pps(self) -> None:
+        """Process stashed pre-prepares now actionable, in sequence order
+        (execution is serial, so out-of-order arrivals wait)."""
+        progress = True
+        while progress:
+            progress = False
+            self.pending_pps.sort(key=lambda item: item[0][2])  # wire field 2 = seqno
+            for stashed in list(self.pending_pps):
+                pp = PrePrepare.from_wire(stashed[0])
+                known = self.batches.get(pp.seqno)
+                # Drop only what can never be needed: stale views, or
+                # batches we already hold in an equal-or-newer view.  A
+                # pre-prepare below next_seqno is NOT stale per se — a
+                # new-view may roll the frontier back and re-issue it
+                # (messages can arrive out of order).
+                if pp.view < self.view or (known is not None and known.view >= pp.view):
+                    if pp.view < self.view and (known is None or known.view < pp.view):
+                        self._last_lower_view_drop = pp.view
+                    self.pending_pps.remove(stashed)
+                    progress = True
+                    continue
+                if pp.seqno == self.next_seqno and pp.view == self.view:
+                    done = self._try_accept_pre_prepare(pp, stashed[1])
+                    if done:
+                        self.pending_pps.remove(stashed)
+                        progress = True
+                        break
+
+    def _try_accept_pre_prepare(self, pp: PrePrepare, batch_digests: tuple) -> bool:
+        """Validate and execute the pre-prepare at the expected sequence
+        number.  Returns True when the message is consumed (accepted or
+        rejected for cause), False to keep it stashed."""
+        s = pp.seqno
+        config = self.config_for(s)
+        if not self.ready:
+            return False
+        if (pp.view, s) in self.own_nonces:
+            return True  # already sent a prepare for this (v, s): drop (line 16)
+        missing = [d for d in batch_digests if d not in self.requests and d not in self.tx_locations]
+        if missing:
+            self._fetch_requests(config, missing)
+            return False
+        if any(d in self.tx_locations for d in batch_digests):
+            return True  # batch replays an executed request: drop
+        evidence_pair: tuple[EvidenceEntry, NoncesEntry] | None = None
+        ev_seqno = s - self.params.pipeline
+        if ev_seqno >= 1:
+            evidence_pair = self._evidence_matching(ev_seqno, pp.evidence_bitmap)
+            if evidence_pair is None:
+                # Wait for the referenced prepares/commits; ask the primary
+                # to retransmit in case we never saw them (§3.1: "if the
+                # backup is missing messages, it requests that the primary
+                # retransmit them").
+                primary_addr = self.replica_directory.get(config.primary_for_view(pp.view))
+                if primary_addr and primary_addr != self.address:
+                    self.send(primary_addr, ("fetch-evidence", ev_seqno, pp.evidence_bitmap))
+                return False
+        # The activation batch (s + 2P + 1) is signed by the *new*
+        # configuration's primary (§5.1).
+        activation_batch = (
+            pp.flags == BATCH_CHECKPOINT
+            and self.reconfig is not None
+            and s == self.reconfig.activation_seqno(self.params.pipeline)
+        )
+        if activation_batch:
+            signer_config = self.reconfig.new_config
+        else:
+            signer_config = config
+        primary_id = signer_config.primary_for_view(pp.view)
+        if primary_id == self.id:
+            return True
+        if not self._verify(signer_config.replica_key(primary_id), pp.signed_payload(), pp.signature):
+            self.metrics.bump("bad_pre_prepare_signatures")
+            return True
+        if pp.flags == BATCH_END_OF_CONFIG and self.reconfig is None:
+            return False  # the final vote has not executed locally yet
+        if activation_batch:
+            self._activate_configuration()
+        self._accept_pre_prepare(pp, batch_digests, evidence_pair)
+        return True
+
+    def _accept_pre_prepare(
+        self,
+        pp: PrePrepare,
+        batch_digests: tuple,
+        evidence_pair: tuple[EvidenceEntry, NoncesEntry] | None,
+    ) -> None:
+        """Alg. 1 lines 17–26: execute, compare roots, prepare."""
+        s = pp.seqno
+        ledger_mark = len(self.ledger)
+        kv_mark = self.kv.tx_count
+        cp_mark = (self.last_recorded_cp, self.last_taken_cp)
+        self._append_given_evidence(evidence_pair)
+        request_list = [self.requests[d] for d in batch_digests]
+        record = self._execute_batch(s, pp.view, pp.flags, request_list, list(batch_digests))
+        record.ledger_start = ledger_mark
+        record.kv_mark = kv_mark
+
+        consistent = record.g_tree.root() == pp.root_g and self.ledger.root() == pp.root_m
+        if consistent and pp.flags == BATCH_END_OF_CONFIG and self.reconfig is not None:
+            consistent = pp.committed_root == self.reconfig.committed_root
+        if not consistent:
+            # Line 22–23: divergent execution or a lying primary.
+            self._undo_batch_execution(record, ledger_mark, kv_mark, cp_mark)
+            self.metrics.bump("root_mismatches")
+            self._suspect_primary()
+            return
+
+        self._install_batch(record, pp)
+        nonce = self._fresh_nonce()
+        self.own_nonces[(pp.view, s)] = nonce
+        prepare = Prepare(replica=self.id, nonce_commitment=nonce.commitment, pp_digest=record.pp_digest)
+        prepare = prepare.with_signature(self._sign(prepare.signed_payload()))
+        self._store_prepare(prepare)
+        if self.is_member(s):
+            payload = ("prepare", prepare.to_wire())
+            for dst in self.peer_addresses():
+                out = payload if self.behavior is None else self.behavior.outgoing_prepare(self, dst, payload)
+                if out is not None:
+                    self.send(dst, out)
+        self.metrics.bump("batches_accepted")
+        self._after_local_pre_prepare(record)
+        self._drain_pending_commits(pp.view, s)
+
+    def _undo_batch_execution(
+        self,
+        record: BatchRecord,
+        ledger_mark: int,
+        kv_mark: int,
+        cp_mark: tuple[int, int],
+    ) -> None:
+        """Alg. 1 ``undo``: roll back the KV store and ledger and restore
+        the batch's requests to the pending set."""
+        self.kv.rollback_to(kv_mark)
+        self.ledger.truncate(ledger_mark)
+        self.last_recorded_cp, self.last_taken_cp = cp_mark
+        self.cp_directory.rollback_after(record.seqno - 1)
+        for tio, tx_digest in zip(record.tios, record.tx_digests):
+            if tx_digest is None:
+                continue
+            self.tx_locations.pop(tx_digest, None)
+            if tx_digest not in self.requests:
+                self.requests[tx_digest] = TransactionRequest.from_wire(tio[0])
+                self.request_order.append(tx_digest)
+
+    # -- prepares and commits (Alg. 1 lines 27–41) -----------------------------------------
+
+    def handle_prepare(self, src: str, msg: tuple) -> None:
+        prepare = Prepare.from_wire(msg[1])
+        located = self.ppd_index.get(prepare.pp_digest)
+        if located is not None:
+            view, seqno = located
+            config = self.config_for(seqno)
+            if not config.has_replica(prepare.replica):
+                return
+            if not self._verify(
+                config.replica_key(prepare.replica), prepare.signed_payload(), prepare.signature
+            ):
+                self.metrics.bump("bad_prepare_signatures")
+                return
+        self._store_prepare(prepare)
+        if located is not None:
+            self._check_prepared(*located)
+            self._drain_pending_commits(*located)
+        self._retry_pending_pps()
+
+    def _store_prepare(self, prepare: Prepare) -> None:
+        self.prepares_by_ppd.setdefault(prepare.pp_digest, {})[prepare.replica] = prepare
+
+    def handle_commit(self, src: str, msg: tuple) -> None:
+        commit = Commit.from_wire(msg[1])
+        if (commit.view, commit.seqno) not in self.pps:
+            self.pending_commits.setdefault((commit.view, commit.seqno), []).append(commit)
+            return
+        self._apply_commit(commit)
+        self._retry_pending_pps()
+
+    def _drain_pending_commits(self, view: int, seqno: int) -> None:
+        for commit in self.pending_commits.pop((view, seqno), []):
+            self._apply_commit(commit)
+
+    def _apply_commit(self, commit: Commit) -> None:
+        """Validate a revealed nonce against the commitment its sender
+        signed — the pre-prepare for the primary, a prepare otherwise."""
+        key = (commit.view, commit.seqno)
+        pp = self.pps.get(key)
+        if pp is None:
+            return
+        config = self.config_for(commit.seqno)
+        if not config.has_replica(commit.replica):
+            return
+        primary_id = config.primary_for_view(commit.view)
+        commitment = commit_nonce(commit.nonce)
+        self.charge(self.costs.hash_fixed)
+        if commit.replica == primary_id:
+            if commitment != pp.nonce_commitment:
+                self.metrics.bump("bad_commit_nonces")
+                return
+        else:
+            record = self.batches.get(commit.seqno)
+            ppd = record.pp_digest if record is not None and record.view == commit.view else pp.digest()
+            prepare = self.prepares_by_ppd.get(ppd, {}).get(commit.replica)
+            if prepare is None:
+                self.pending_commits.setdefault(key, []).append(commit)
+                return
+            if prepare.nonce_commitment != commitment:
+                self.metrics.bump("bad_commit_nonces")
+                return
+        self.commit_nonces.setdefault(key, {})[commit.replica] = commit.nonce
+        self._check_committed(commit.view, commit.seqno)
+
+    def _check_prepared(self, view: int, seqno: int) -> None:
+        """Alg. 1 ``batchPrepared``: the batch prepares once we hold its
+        pre-prepare plus N−f−1 matching prepares and every earlier batch
+        has prepared."""
+        record = self.batches.get(seqno)
+        if record is None or record.prepared or record.view != view:
+            return
+        config = self.config_for(seqno)
+        prepares = self.prepares_by_ppd.get(record.pp_digest, {})
+        if len(prepares) < config.quorum - 1:
+            return
+        if self.prepared_upto != seqno - 1:
+            return
+        record.prepared = True
+        self.prepared_upto = seqno
+        self.metrics.bump("batches_prepared")
+        if self.is_member(seqno):
+            nonce = self.own_nonces.get((view, seqno))
+            if nonce is not None:
+                commit = Commit(view=view, seqno=seqno, replica=self.id, nonce=nonce.nonce)
+                payload = ("commit", commit.to_wire())
+                for dst in self.peer_addresses():
+                    out = payload if self.behavior is None else self.behavior.outgoing_commit(self, dst, payload)
+                    if out is not None:
+                        self.send(dst, out)
+                self.commit_nonces.setdefault((view, seqno), {})[self.id] = nonce.nonce
+            self._send_replies(record)
+        self._check_committed(view, seqno)
+        nxt = self.batches.get(seqno + 1)
+        if nxt is not None:
+            self._check_prepared(nxt.view, seqno + 1)
+
+    def _check_committed(self, view: int, seqno: int) -> None:
+        record = self.batches.get(seqno)
+        if record is None or record.committed or record.view != view or not record.prepared:
+            return
+        config = self.config_for(seqno)
+        nonces = self.commit_nonces.get((view, seqno), {})
+        primary_id = config.primary_for_view(view)
+        if len(nonces) < config.quorum or primary_id not in nonces:
+            return
+        if self.committed_upto != seqno - 1:
+            return
+        record.committed = True
+        self.committed_upto = seqno
+        self.metrics.bump("batches_committed")
+        self.metrics.throughput.record_commit(self.cpu_time(), record.request_count())
+        self._reset_view_change_timer()
+        nxt = self.batches.get(seqno + 1)
+        if nxt is not None:
+            self._check_committed(nxt.view, seqno + 1)
+        # Fresh evidence may unblock the pipeline — for the current
+        # primary, or for the new configuration's primary around an
+        # activation (§5.1).
+        drives_reconfig = self.reconfig is not None and (
+            self.is_primary() or self.reconfig.new_config.has_replica(self.id)
+        )
+        if (self.is_primary() and (self.request_order or self._start_of_config_pending(self.next_seqno))) or drives_reconfig:
+            self.maybe_send_pre_prepare()
+
+    # -- replies and receipts (Alg. 1 lines 34–38) --------------------------------------------
+
+    def _send_replies(self, record: BatchRecord) -> None:
+        """One reply per client in the batch; the designated replica also
+        sends the extended ``replyx`` per transaction (§3.3)."""
+        config = self.config_for(record.seqno)
+        nonce = self.own_nonces.get((record.view, record.seqno))
+        if nonce is None:
+            return
+        primary_id = config.primary_for_view(record.view)
+        if self.id == primary_id:
+            signature = record.pp.signature
+        else:
+            own_prepare = self.prepares_by_ppd.get(record.pp_digest, {}).get(self.id)
+            if own_prepare is None:
+                return
+            signature = own_prepare.signature
+        if self.params.peer_review:
+            # PeerReview: a signed reply per transaction, not per batch.
+            self.charge(self.costs.sign * max(1, record.request_count()))
+        reply = Reply(
+            view=record.view,
+            seqno=record.seqno,
+            replica=self.id,
+            signature=signature,
+            nonce=nonce.nonce,
+        )
+        for client, tx_digests in record.clients.items():
+            dst = self.request_sources.get(tx_digests[0])
+            if dst is None:
+                continue
+            payload = ("reply", reply.to_wire(), tuple(tx_digests))
+            if self.behavior is not None:
+                payload = self.behavior.outgoing_reply(self, dst, payload)
+                if payload is None:
+                    continue
+            self.send(dst, payload)
+        if self.params.receipts:
+            for position, (tio, tx_digest) in enumerate(zip(record.tios, record.tx_digests)):
+                if tx_digest is None or designated_replica(tx_digest, config) != self.id:
+                    continue
+                dst = self.request_sources.get(tx_digest)
+                if dst is not None:
+                    self._send_replyx(record, position, tio, tx_digest, dst)
+
+    def _send_replyx(
+        self, record: BatchRecord, position: int, tio: tuple, tx_digest: Digest, dst: str
+    ) -> None:
+        path = record.g_tree.path(position)
+        self.charge(len(path) * self.costs.hash_fixed)
+        replyx = ReplyX(
+            view=record.view,
+            seqno=record.seqno,
+            root_m=record.pp.root_m,
+            primary_nonce_commitment=record.pp.nonce_commitment,
+            evidence_bitmap=record.pp.evidence_bitmap,
+            gov_index=record.pp.gov_index,
+            checkpoint_digest=record.pp.checkpoint_digest,
+            flags=record.pp.flags,
+            committed_root=record.pp.committed_root,
+            tx_digest=tx_digest,
+            index=tio[1],
+            output=tio[2],
+            path=path.to_wire(),
+        )
+        payload = ("replyx", replyx.to_wire())
+        if self.behavior is not None:
+            payload = self.behavior.outgoing_replyx(self, dst, payload)
+            if payload is None:
+                return
+        self.send(dst, payload)
+        self.metrics.bump("receipts_sent")
+
+    def handle_get_replyx(self, src: str, msg: tuple) -> None:
+        """Serve a replyx on request — client failover when the designated
+        replica stays silent (§3.3)."""
+        if not self.params.receipts:
+            return  # IA-CCF-NoReceipt serves no receipts at all
+        tx_digest = msg[1]
+        located = self.tx_locations.get(tx_digest)
+        if located is None:
+            return
+        record = self.batches.get(located[0])
+        if record is None or not record.prepared:
+            return
+        for position, (tio, d) in enumerate(zip(record.tios, record.tx_digests)):
+            if d == tx_digest:
+                self.request_sources[tx_digest] = src
+                self._send_replyx(record, position, tio, tx_digest, src)
+                return
+
+    # -- checkpoints (§3.4) ------------------------------------------------------------
+
+    def _maybe_take_checkpoint(self, record: BatchRecord) -> None:
+        if not self.params.checkpoints:
+            return
+        s = record.seqno
+        due_interval = record.flags == BATCH_REGULAR and s % self.params.checkpoint_interval == 0
+        due_activation = (
+            record.flags == BATCH_END_OF_CONFIG
+            and self.reconfig is not None
+            and s == self.reconfig.vote_seqno + 2 * self.params.pipeline
+        )
+        if not (due_interval or due_activation):
+            return
+        self.charge(len(self.kv) * self.costs.checkpoint_per_entry)
+        self.checkpoints[s] = Checkpoint.capture(self.kv, s, len(self.ledger), self.ledger.root())
+        self.last_taken_cp = s
+        self.metrics.bump("checkpoints_taken")
+        self._garbage_collect(s)
+
+    def _garbage_collect(self, stable_seqno: int) -> None:
+        """Prune message stores for batches older than the previous
+        checkpoint (their evidence lives in the ledger now)."""
+        horizon = stable_seqno - self.params.checkpoint_interval
+        if horizon <= 0:
+            return
+        for seqno in [s for s in self.batches if s < horizon]:
+            record = self.batches[seqno]
+            if not record.committed:
+                continue
+            key = (record.view, seqno)
+            self.pps.pop(key, None)
+            self.ppd_index.pop(record.pp_digest, None)
+            self.prepares_by_ppd.pop(record.pp_digest, None)
+            self.commit_nonces.pop(key, None)
+            self.own_nonces.pop(key, None)
+            del self.batches[seqno]
+        old_cps = sorted(s for s in self.checkpoints if s < horizon)
+        for s in old_cps[:-1]:
+            del self.checkpoints[s]
+
+    # -- reconfiguration (§5.1) ----------------------------------------------------------
+
+    def _maybe_note_referendum(self, record: BatchRecord) -> None:
+        """After executing a batch, notice a passed referendum and start
+        the end-of-configuration sequence."""
+        if self.reconfig is not None:
+            return
+        raw = self.kv.get("__gov.accepted_config")
+        if raw is None:
+            return
+        self.reconfig = ReconfigState(
+            new_config=Configuration.from_wire(raw),
+            vote_seqno=record.seqno,
+            committed_root=self.ledger.root(),
+        )
+        self.metrics.bump("reconfigurations_started")
+        if self.is_primary():
+            self.maybe_send_pre_prepare()
+
+    def _activate_configuration(self) -> None:
+        """Install the new configuration at ``s + 2P + 1`` (§5.1): update
+        the schedule and the KV store, and assemble the governance
+        receipts link clients will fetch (§5.2)."""
+        assert self.reconfig is not None
+        activation = self.reconfig.activation_seqno(self.params.pipeline)
+        new_config = self.reconfig.new_config
+        link = self._build_governance_link()
+        self.kv.execute(lambda tx: install_configuration(tx, new_config))
+        self.schedule.append(
+            ConfigSpan(config=new_config, start_seqno=activation, start_index=len(self.ledger))
+        )
+        if link is not None:
+            self.gov_chain = self.gov_chain.extended(link)
+        self.gov_tx_log = []
+        self.reconfig = None
+        self.metrics.bump("reconfigurations_completed")
+
+    def _build_governance_link(self) -> GovernanceLink | None:
+        """Assemble the governance receipts for the completing
+        reconfiguration from the ledger and message stores (§5.2)."""
+        assert self.reconfig is not None
+        propose_receipt: Receipt | None = None
+        vote_receipts: list[Receipt] = []
+        for seqno, tx_digest, procedure in self.gov_tx_log:
+            receipt = self.receipt_from_ledger(seqno, tx_digest)
+            if receipt is None:
+                return None
+            if procedure == "gov.propose":
+                propose_receipt = receipt
+            else:
+                vote_receipts.append(receipt)
+        eoc_seqno = self.reconfig.vote_seqno + self.params.pipeline
+        eoc_receipt = self.receipt_from_ledger(eoc_seqno, None)
+        if propose_receipt is None or eoc_receipt is None:
+            return None
+        return GovernanceLink(
+            propose_receipt=propose_receipt,
+            vote_receipts=tuple(vote_receipts),
+            eoc_receipt=eoc_receipt,
+        )
+
+    # -- receipts from the ledger (audit support, client failover) ----------------------------
+
+    def receipt_from_ledger(self, seqno: int, tx_digest: Digest | None) -> Receipt | None:
+        """Build a receipt for a committed batch from stored evidence: a
+        transaction receipt when ``tx_digest`` names a transaction in the
+        batch, a batch receipt otherwise."""
+        record = self.batches.get(seqno)
+        if record is None or record.pp is None:
+            return None
+        built = self._build_evidence(seqno)
+        if built is None:
+            return None
+        evidence, nonces_entry = built
+        config = self.config_for(seqno)
+        primary_id = config.primary_for_view(record.view)
+        signer_ids = bitmap_members(nonces_entry.bitmap)
+        prepare_by = {p.replica: p for p in evidence.prepares()}
+        common = dict(
+            view=record.view,
+            seqno=seqno,
+            root_m=record.pp.root_m,
+            primary_nonce_commitment=record.pp.nonce_commitment,
+            evidence_bitmap=record.pp.evidence_bitmap,
+            gov_index=record.pp.gov_index,
+            checkpoint_digest=record.pp.checkpoint_digest,
+            flags=record.pp.flags,
+            committed_root=record.pp.committed_root,
+            primary_signature=record.pp.signature,
+            signer_bitmap=nonces_entry.bitmap,
+            prepare_signatures=tuple(
+                prepare_by[r].signature for r in signer_ids if r != primary_id
+            ),
+            nonces=nonces_entry.nonces,
+        )
+        if tx_digest is None:
+            return Receipt(
+                request_wire=None, index=None, output=None, path=None,
+                root_g=record.pp.root_g, **common,
+            )
+        for position, (tio, d) in enumerate(zip(record.tios, record.tx_digests)):
+            if d == tx_digest:
+                return Receipt(
+                    request_wire=tio[0], index=tio[1], output=tio[2],
+                    path=record.g_tree.path(position), **common,
+                )
+        return None
+
+    # -- fetch protocol ---------------------------------------------------------------
+
+    def _fetch_requests(self, config: Configuration, digests: list[Digest]) -> None:
+        primary_addr = self.replica_directory.get(config.primary_for_view(self.view))
+        if primary_addr and primary_addr != self.address:
+            self.send(primary_addr, ("fetch-requests", tuple(digests)))
+
+    def handle_fetch_requests(self, src: str, msg: tuple) -> None:
+        found = []
+        for tx_digest in msg[1]:
+            request = self.requests.get(tx_digest)
+            if request is not None:
+                found.append(request.to_wire())
+                continue
+            located = self.tx_locations.get(tx_digest)
+            if located is not None:
+                record = self.batches.get(located[0])
+                if record is not None:
+                    for tio, d in zip(record.tios, record.tx_digests):
+                        if d == tx_digest:
+                            found.append(tio[0])
+                            break
+        if found:
+            self.send(src, ("requests-bundle", tuple(found)))
+
+    def handle_requests_bundle(self, src: str, msg: tuple) -> None:
+        # Fetched requests bypass admission control (they are needed for an
+        # already-proposed batch), and the sender is a replica, not the
+        # client — never a reply destination.
+        for wire in msg[1]:
+            self.handle_request(src, ("request", wire), force=True, record_source=False)
+
+    def handle_fetch_ledger(self, src: str, msg: tuple) -> None:
+        """Serve the full ledger plus the newest checkpoint (§3.4 fetch /
+        §5.1 join)."""
+        fragment = self.ledger.fragment(0)
+        cp_seqno = max(self.checkpoints) if self.checkpoints else 0
+        cp = self.checkpoints.get(cp_seqno)
+        cp_wire = None
+        if cp is not None:
+            cp_wire = (cp.seqno, tuple((k, v) for k, v in sorted(cp.state.items())), cp.ledger_size, cp.ledger_root)
+        self.send(
+            src,
+            ("ledger-bundle", fragment.start, fragment.entry_wires, cp_wire, self.view, self.next_seqno),
+        )
+
+    def handle_fetch_evidence(self, src: str, msg: tuple) -> None:
+        """Retransmit commitment evidence for a batch (prepares + nonces)."""
+        seqno, bitmap = msg[1], msg[2]
+        pair = self._evidence_matching(seqno, bitmap) or self._build_evidence(seqno)
+        if pair is not None:
+            self.send(src, ("evidence-bundle", seqno, pair[0].to_wire(), pair[1].to_wire()))
+
+    def handle_evidence_bundle(self, src: str, msg: tuple) -> None:
+        """Ingest retransmitted evidence into the message stores after
+        validating every signature and nonce against our own pre-prepare
+        for the batch."""
+        seqno = msg[1]
+        record = self.batches.get(seqno)
+        if record is None or record.pp is None:
+            return
+        from ..ledger.entries import entry_from_wire as _efw
+
+        evidence = _efw(msg[2])
+        nonces = _efw(msg[3])
+        if not isinstance(evidence, EvidenceEntry) or not isinstance(nonces, NoncesEntry):
+            return
+        if evidence.seqno != seqno or evidence.view != record.view:
+            return
+        config = self.config_for(seqno)
+        primary_id = config.primary_for_view(record.view)
+        accepted: dict[int, Prepare] = {}
+        for prepare in evidence.prepares():
+            if prepare.pp_digest != record.pp_digest or not config.has_replica(prepare.replica):
+                continue
+            if not self._verify(
+                config.replica_key(prepare.replica), prepare.signed_payload(), prepare.signature
+            ):
+                continue
+            self._store_prepare(prepare)
+            accepted[prepare.replica] = prepare
+        store = self.commit_nonces.setdefault((record.view, seqno), {})
+        for replica_id, nonce in zip(bitmap_members(nonces.bitmap), nonces.nonces):
+            commitment = commit_nonce(nonce)
+            if replica_id == primary_id:
+                if commitment == record.pp.nonce_commitment:
+                    store.setdefault(replica_id, nonce)
+            else:
+                prepare = accepted.get(replica_id) or self.prepares_by_ppd.get(
+                    record.pp_digest, {}
+                ).get(replica_id)
+                if prepare is not None and prepare.nonce_commitment == commitment:
+                    store.setdefault(replica_id, nonce)
+        self._retry_pending_pps()
+
+    def handle_get_gov_chain(self, src: str, msg: tuple) -> None:
+        self.send(src, ("gov-chain-resp", self.gov_chain.to_wire()))
+
+    def handle_ack(self, src: str, msg: tuple) -> None:
+        # PeerReview acknowledgement: verify it (cost) and log.
+        self.charge(self.costs.parallel(self.costs.verify))
+
+    # -- view change hooks (overridden by ViewChangeMixin) -----------------------------------
+
+    def _arm_view_change_timer(self) -> None:
+        pass
+
+    def _reset_view_change_timer(self) -> None:
+        pass
+
+    def _suspect_primary(self) -> None:
+        pass
+
+    def handle_view_change(self, src: str, msg: tuple) -> None:  # pragma: no cover
+        raise ProtocolError("view changes require LPBFTReplica (ViewChangeMixin)")
+
+    def handle_new_view(self, src: str, msg: tuple) -> None:  # pragma: no cover
+        raise ProtocolError("view changes require LPBFTReplica (ViewChangeMixin)")
+
+    def handle_ledger_bundle(self, src: str, msg: tuple) -> None:  # pragma: no cover
+        raise ProtocolError("state sync requires LPBFTReplica (ViewChangeMixin)")
+
+    # Message kind -> bound-method name; resolved with getattr so mixin
+    # overrides take effect.
+    _DISPATCH = {
+        "request": "handle_request",
+        "pre-prepare": "handle_pre_prepare",
+        "prepare": "handle_prepare",
+        "commit": "handle_commit",
+        "get-replyx": "handle_get_replyx",
+        "fetch-requests": "handle_fetch_requests",
+        "requests-bundle": "handle_requests_bundle",
+        "fetch-evidence": "handle_fetch_evidence",
+        "evidence-bundle": "handle_evidence_bundle",
+        "fetch-ledger": "handle_fetch_ledger",
+        "ledger-bundle": "handle_ledger_bundle",
+        "get-gov-chain": "handle_get_gov_chain",
+        "view-change": "handle_view_change",
+        "new-view": "handle_new_view",
+        "ack": "handle_ack",
+    }
+
+
+# Message kinds acknowledged under PeerReview (all protocol-level traffic).
+_PEER_REVIEW_ACKED = {"request", "pre-prepare", "prepare", "commit"}

@@ -1,0 +1,77 @@
+"""Merkle inclusion proofs.
+
+A :class:`MerklePath` is the list of sibling hashes from a leaf to the
+root (paper §3.3: the ``S`` component of a receipt).  Verification
+recomputes the root from the leaf digest and compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.hashing import Digest, digest_pair
+from ..errors import MerkleError
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One step of an inclusion proof: a sibling digest and its side."""
+
+    sibling: Digest
+    sibling_on_left: bool
+
+    def to_wire(self) -> tuple:
+        """Canonical tuple form for codec encoding."""
+        return (self.sibling, self.sibling_on_left)
+
+    @staticmethod
+    def from_wire(raw: tuple) -> "PathStep":
+        sibling, on_left = raw
+        if not isinstance(sibling, bytes) or len(sibling) != 32:
+            raise MerkleError("malformed path step sibling")
+        return PathStep(sibling=sibling, sibling_on_left=bool(on_left))
+
+
+@dataclass(frozen=True)
+class MerklePath:
+    """Inclusion proof for one leaf: leaf index, tree size, sibling steps
+    ordered leaf-to-root."""
+
+    leaf_index: int
+    tree_size: int
+    steps: tuple[PathStep, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def to_wire(self) -> tuple:
+        """Canonical tuple form for codec encoding."""
+        return (self.leaf_index, self.tree_size, tuple(s.to_wire() for s in self.steps))
+
+    @staticmethod
+    def from_wire(raw: tuple) -> "MerklePath":
+        try:
+            leaf_index, tree_size, steps = raw
+            return MerklePath(
+                leaf_index=int(leaf_index),
+                tree_size=int(tree_size),
+                steps=tuple(PathStep.from_wire(s) for s in steps),
+            )
+        except (TypeError, ValueError) as exc:
+            raise MerkleError(f"malformed merkle path: {exc}") from exc
+
+
+def path_root(leaf: Digest, path: MerklePath) -> Digest:
+    """Recompute the root implied by ``leaf`` and ``path``."""
+    acc = leaf
+    for step in path.steps:
+        if step.sibling_on_left:
+            acc = digest_pair(step.sibling, acc)
+        else:
+            acc = digest_pair(acc, step.sibling)
+    return acc
+
+
+def verify_path(leaf: Digest, path: MerklePath, root: Digest) -> bool:
+    """True iff ``path`` proves ``leaf`` is in the tree with ``root``."""
+    return path_root(leaf, path) == root

@@ -1,0 +1,166 @@
+"""Append-only Merkle tree with truncation and historical roots.
+
+The tree structure matches CCF's: the root of ``n`` leaves splits at the
+largest power of two strictly less than ``n`` (RFC 6962 shape), interior
+nodes are ``SHA256(left || right)``, and the root of a single leaf is the
+leaf digest itself.  This shape has the property that appending never
+rewrites existing interior nodes, so an incremental "peak stack" gives
+O(log n) amortized appends, and rolling back (paper Lemma 1) is a simple
+truncation of the leaf sequence.
+"""
+
+from __future__ import annotations
+
+from ..crypto.hashing import Digest, digest_pair, EMPTY_DIGEST
+from ..errors import MerkleError
+from .proofs import MerklePath, PathStep
+
+
+class MerkleTree:
+    """An append-only Merkle tree over caller-supplied leaf digests.
+
+    Leaves are 32-byte digests; callers hash their entries before
+    appending (``digest_value(entry)``).  The empty tree has the
+    distinguished all-zero root.
+    """
+
+    __slots__ = ("_leaves", "_peaks")
+
+    def __init__(self, leaves: list[Digest] | None = None) -> None:
+        self._leaves: list[Digest] = []
+        # Peaks: list of (height, digest) for complete subtrees, left to
+        # right, strictly decreasing heights (binary-counter structure).
+        self._peaks: list[tuple[int, Digest]] = []
+        if leaves:
+            for leaf in leaves:
+                self.append(leaf)
+
+    # -- basic container protocol -------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MerkleTree):
+            return NotImplemented
+        return self._leaves == other._leaves
+
+    def leaf(self, index: int) -> Digest:
+        """The leaf digest at ``index``."""
+        if not 0 <= index < len(self._leaves):
+            raise MerkleError(f"leaf index {index} out of range [0, {len(self._leaves)})")
+        return self._leaves[index]
+
+    def leaves(self) -> list[Digest]:
+        """A copy of all leaf digests (oldest first)."""
+        return list(self._leaves)
+
+    # -- mutation ------------------------------------------------------
+
+    def append(self, leaf: Digest) -> int:
+        """Append a leaf digest; returns its index."""
+        if len(leaf) != 32:
+            raise MerkleError(f"leaf must be a 32-byte digest, got {len(leaf)} bytes")
+        index = len(self._leaves)
+        self._leaves.append(leaf)
+        # Binary-counter merge: combine equal-height peaks.
+        self._peaks.append((0, leaf))
+        while len(self._peaks) >= 2 and self._peaks[-1][0] == self._peaks[-2][0]:
+            height, right = self._peaks.pop()
+            _, left = self._peaks.pop()
+            self._peaks.append((height + 1, digest_pair(left, right)))
+        return index
+
+    def extend(self, leaves: list[Digest]) -> None:
+        """Append several leaves in order."""
+        for leaf in leaves:
+            self.append(leaf)
+
+    def truncate(self, size: int) -> None:
+        """Roll the tree back to its first ``size`` leaves (Lemma 1).
+
+        Only a suffix may be removed; the peak stack is rebuilt, which is
+        O(size) but truncation only happens on (rare) view changes.
+        """
+        if not 0 <= size <= len(self._leaves):
+            raise MerkleError(f"cannot truncate to {size}, tree has {len(self._leaves)} leaves")
+        if size == len(self._leaves):
+            return
+        remaining = self._leaves[:size]
+        self._leaves = []
+        self._peaks = []
+        for leaf in remaining:
+            self.append(leaf)
+
+    def copy(self) -> "MerkleTree":
+        """An independent copy of this tree."""
+        clone = MerkleTree()
+        clone._leaves = list(self._leaves)
+        clone._peaks = list(self._peaks)
+        return clone
+
+    # -- roots ---------------------------------------------------------
+
+    def root(self) -> Digest:
+        """The current root (all-zero digest for the empty tree)."""
+        if not self._peaks:
+            return EMPTY_DIGEST
+        # Fold peaks right-to-left: matches the recursive
+        # split-at-largest-power-of-two definition.
+        acc = self._peaks[-1][1]
+        for _, peak in reversed(self._peaks[:-1]):
+            acc = digest_pair(peak, acc)
+        return acc
+
+    def root_at(self, size: int) -> Digest:
+        """The root the tree had when it contained ``size`` leaves."""
+        if not 0 <= size <= len(self._leaves):
+            raise MerkleError(f"size {size} out of range [0, {len(self._leaves)}]")
+        if size == 0:
+            return EMPTY_DIGEST
+        return _subtree_root(self._leaves, 0, size)
+
+    # -- proofs ----------------------------------------------------------
+
+    def path(self, index: int, size: int | None = None) -> MerklePath:
+        """Inclusion proof for leaf ``index`` in the tree of ``size`` leaves
+        (default: current size).  Verifiable with :func:`verify_path`."""
+        size = len(self._leaves) if size is None else size
+        if not 0 <= size <= len(self._leaves):
+            raise MerkleError(f"size {size} out of range")
+        if not 0 <= index < size:
+            raise MerkleError(f"leaf index {index} out of range [0, {size})")
+        steps: list[PathStep] = []
+        _collect_path(self._leaves, 0, size, index, steps)
+        return MerklePath(leaf_index=index, tree_size=size, steps=tuple(steps))
+
+
+def _largest_power_of_two_below(n: int) -> int:
+    """Largest power of two strictly less than n (n >= 2)."""
+    k = 1
+    while k * 2 < n:
+        k *= 2
+    return k
+
+
+def _subtree_root(leaves: list[Digest], lo: int, hi: int) -> Digest:
+    """Root of ``leaves[lo:hi]`` under the RFC 6962 split rule."""
+    n = hi - lo
+    if n == 1:
+        return leaves[lo]
+    k = _largest_power_of_two_below(n)
+    return digest_pair(_subtree_root(leaves, lo, lo + k), _subtree_root(leaves, lo + k, hi))
+
+
+def _collect_path(leaves: list[Digest], lo: int, hi: int, index: int, steps: list[PathStep]) -> None:
+    """Collect sibling digests from leaf to root (appended leaf-to-root)."""
+    n = hi - lo
+    if n == 1:
+        return
+    k = _largest_power_of_two_below(n)
+    if index < lo + k:
+        _collect_path(leaves, lo, lo + k, index, steps)
+        steps.append(PathStep(sibling=_subtree_root(leaves, lo + k, hi), sibling_on_left=False))
+    else:
+        _collect_path(leaves, lo + k, hi, index, steps)
+        steps.append(PathStep(sibling=_subtree_root(leaves, lo, lo + k), sibling_on_left=True))

@@ -1,0 +1,26 @@
+"""Simulated network substrate.
+
+Replicas and clients communicate over authenticated point-to-point
+channels (the paper uses Diffie–Hellman-keyed TLS; we model channel
+authentication as a per-message cost).  The simulator provides:
+
+- :class:`LatencyModel` presets for the paper's three testbeds
+  (dedicated cluster, Azure LAN, 3-region Azure WAN);
+- :class:`SimNetwork` — delivers messages through the event scheduler
+  with latency + bandwidth delays, and models each node's CPU as a serial
+  resource so compute-bound throughput emerges naturally;
+- fault injection: drops, partitions, and per-link delay overrides.
+"""
+
+from .latency import LatencyModel, constant_latency, lan_latency, wan_latency, REGIONS_WAN
+from .simnet import SimNetwork, Node
+
+__all__ = [
+    "LatencyModel",
+    "constant_latency",
+    "lan_latency",
+    "wan_latency",
+    "REGIONS_WAN",
+    "SimNetwork",
+    "Node",
+]

@@ -1,0 +1,77 @@
+"""Network latency and bandwidth models for the paper's testbeds (§6).
+
+- Dedicated cluster: 40 Gbps, full bisection bandwidth, ~50 µs RTT.
+- Azure LAN: 7 Gbps links, ~200 µs RTT.
+- Azure WAN: three regions (US East, US West 2, US South Central);
+  one-way latencies approximate the geographic distances (East–West2
+  ~65 ms RTT, East–South ~30 ms, West2–South ~45 ms).
+
+A :class:`LatencyModel` maps (src_site, dst_site) to one-way propagation
+delay; bandwidth converts message size to serialization delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+REGIONS_WAN = ("us-east", "us-west-2", "us-south-central")
+
+# One-way delays in seconds between WAN regions.
+_WAN_ONE_WAY = {
+    ("us-east", "us-east"): 0.25e-3,
+    ("us-west-2", "us-west-2"): 0.25e-3,
+    ("us-south-central", "us-south-central"): 0.25e-3,
+    ("us-east", "us-west-2"): 32.5e-3,
+    ("us-east", "us-south-central"): 15.0e-3,
+    ("us-west-2", "us-south-central"): 22.5e-3,
+}
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """One-way latency between sites plus per-link bandwidth."""
+
+    name: str
+    bandwidth_bps: float
+    delays: dict = field(default_factory=dict)  # (site, site) -> seconds
+    default_delay: float = 0.1e-3
+
+    def one_way(self, src_site: str, dst_site: str) -> float:
+        """One-way propagation delay between two sites."""
+        if src_site == dst_site and (src_site, dst_site) not in self.delays:
+            return self.default_delay
+        key = (src_site, dst_site)
+        if key in self.delays:
+            return self.delays[key]
+        rkey = (dst_site, src_site)
+        if rkey in self.delays:
+            return self.delays[rkey]
+        return self.default_delay
+
+    def transfer_delay(self, size_bytes: int) -> float:
+        """Serialization delay for a message of ``size_bytes``."""
+        return size_bytes * 8.0 / self.bandwidth_bps
+
+    def delivery_delay(self, src_site: str, dst_site: str, size_bytes: int) -> float:
+        """Total one-way delivery delay."""
+        return self.one_way(src_site, dst_site) + self.transfer_delay(size_bytes)
+
+
+def constant_latency(delay: float, bandwidth_bps: float = 40e9, name: str = "constant") -> LatencyModel:
+    """All pairs experience the same one-way ``delay``."""
+    return LatencyModel(name=name, bandwidth_bps=bandwidth_bps, default_delay=delay)
+
+
+def lan_latency() -> LatencyModel:
+    """Azure LAN: 7 Gbps, ~100 µs one-way."""
+    return LatencyModel(name="azure-lan", bandwidth_bps=7e9, default_delay=0.1e-3)
+
+
+def cluster_latency() -> LatencyModel:
+    """Dedicated cluster: 40 Gbps, ~25 µs one-way."""
+    return LatencyModel(name="dedicated-cluster", bandwidth_bps=40e9, default_delay=25e-6)
+
+
+def wan_latency() -> LatencyModel:
+    """Azure WAN across three US regions, 7 Gbps."""
+    return LatencyModel(name="azure-wan", bandwidth_bps=7e9, delays=dict(_WAN_ONE_WAY), default_delay=0.25e-3)

@@ -1,0 +1,218 @@
+"""The simulated network: message delivery + per-node CPU accounting.
+
+Each :class:`Node` has an address, a site (for latency), and a CPU that
+processes one message at a time.  When a message arrives at time ``t``,
+processing starts at ``max(t, cpu_busy_until)``; the handler charges
+virtual CPU time through :meth:`Node.charge`, and messages it sends depart
+when processing completes.  This makes nodes compute-bound under load,
+which is what the paper observes ("all experiments are compute-bound").
+
+Fault injection: per-link drop rules and partitions, applied at send time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import NetworkError
+from ..sim.scheduler import EventScheduler
+from .latency import LatencyModel, constant_latency
+
+
+class Node:
+    """Base class for simulated network endpoints.
+
+    Subclasses implement :meth:`on_message`.  Inside a handler, use
+    :meth:`charge` to account CPU cost, :meth:`send` to transmit, and
+    :meth:`set_timer` / :meth:`cancel_timer` for timeouts.
+    """
+
+    def __init__(self, address: str, site: str = "local") -> None:
+        self.address = address
+        self.site = site
+        self.net: "SimNetwork | None" = None
+        self._busy_until = 0.0
+        self._pending_charge = 0.0
+        self._processing = False
+
+    # -- to be overridden ---------------------------------------------------
+
+    def on_message(self, src: str, msg: Any) -> None:
+        """Handle a delivered message."""
+        raise NotImplementedError
+
+    def on_start(self) -> None:
+        """Called once when the network starts (override to seed timers)."""
+
+    # -- services -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        if self.net is None:
+            return 0.0
+        return self.net.scheduler.now
+
+    def charge(self, seconds: float) -> None:
+        """Account ``seconds`` of CPU time to this node's serial CPU."""
+        if seconds < 0:
+            raise NetworkError(f"negative charge {seconds}")
+        if self._processing:
+            self._pending_charge += seconds
+        else:
+            self._busy_until = max(self._busy_until, self.now) + seconds
+
+    def cpu_time(self) -> float:
+        """The time at which this node's CPU finishes the work accepted so
+        far (including charges accrued by the currently-running handler).
+        Outgoing messages depart then, and completion-style measurements
+        (e.g. commit timestamps) should use it instead of ``now``."""
+        return self._busy_until + (self._pending_charge if self._processing else 0.0)
+
+    def send(self, dst: str, msg: Any, size: int | None = None) -> None:
+        """Send ``msg`` to the node addressed ``dst``."""
+        if self.net is None:
+            raise NetworkError(f"node {self.address} not attached to a network")
+        self.net.transmit(self.address, dst, msg, size)
+
+    def broadcast(self, addresses: list[str], msg: Any, size: int | None = None) -> None:
+        """Send ``msg`` to every address in ``addresses`` except self."""
+        for dst in addresses:
+            if dst != self.address:
+                self.send(dst, msg, size)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        if self.net is None:
+            raise NetworkError(f"node {self.address} not attached to a network")
+        return self.net.scheduler.after(delay, callback)
+
+    def cancel_timer(self, timer_id: int) -> None:
+        if self.net is not None:
+            self.net.scheduler.cancel(timer_id)
+
+
+class SimNetwork:
+    """Delivers messages between registered nodes via the scheduler."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler | None = None,
+        latency: LatencyModel | None = None,
+        size_of: Callable[[Any], int] | None = None,
+    ) -> None:
+        self.scheduler = scheduler or EventScheduler()
+        self.latency = latency or constant_latency(0.1e-3)
+        self._nodes: dict[str, Node] = {}
+        self._partitions: list[set[str]] = []
+        self._drop_rules: list[Callable[[str, str, Any], bool]] = []
+        self._size_of = size_of or _default_size_of
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- topology -------------------------------------------------------------
+
+    def register(self, node: Node) -> None:
+        """Attach a node to the network."""
+        if node.address in self._nodes:
+            raise NetworkError(f"duplicate node address {node.address!r}")
+        node.net = self
+        self._nodes[node.address] = node
+
+    def node(self, address: str) -> Node:
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise NetworkError(f"unknown node {address!r}") from None
+
+    def addresses(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def start(self) -> None:
+        """Invoke :meth:`Node.on_start` on every node."""
+        for address in sorted(self._nodes):
+            self._nodes[address].on_start()
+
+    # -- fault injection ---------------------------------------------------------
+
+    def partition(self, group_a: set[str], group_b: set[str]) -> None:
+        """Drop all traffic between the two groups until healed."""
+        self._partitions.append(set(group_a))
+        self._partitions.append(set(group_b))
+
+    def heal_partitions(self) -> None:
+        self._partitions.clear()
+
+    def add_drop_rule(self, rule: Callable[[str, str, Any], bool]) -> None:
+        """Drop messages for which ``rule(src, dst, msg)`` is True."""
+        self._drop_rules.append(rule)
+
+    def clear_drop_rules(self) -> None:
+        self._drop_rules.clear()
+
+    def _blocked(self, src: str, dst: str) -> bool:
+        if len(self._partitions) >= 2:
+            for i in range(0, len(self._partitions) - 1, 2):
+                a, b = self._partitions[i], self._partitions[i + 1]
+                if (src in a and dst in b) or (src in b and dst in a):
+                    return True
+        return False
+
+    # -- transmission ---------------------------------------------------------------
+
+    def transmit(self, src: str, dst: str, msg: Any, size: int | None = None) -> None:
+        """Schedule delivery of ``msg`` from ``src`` to ``dst``."""
+        if dst not in self._nodes:
+            raise NetworkError(f"unknown destination {dst!r}")
+        if self._blocked(src, dst):
+            return
+        for rule in self._drop_rules:
+            if rule(src, dst, msg):
+                return
+        size = self._size_of(msg) if size is None else size
+        self.messages_sent += 1
+        self.bytes_sent += size
+        src_node = self._nodes.get(src)
+        dst_node = self._nodes[dst]
+        # Departure: when the sender's CPU finishes its current work,
+        # including the cost the running handler has charged so far.
+        depart = max(self.scheduler.now, src_node.cpu_time() if src_node else self.scheduler.now)
+        src_site = src_node.site if src_node else dst_node.site
+        delay = self.latency.delivery_delay(src_site, dst_node.site, size)
+        self.scheduler.at(depart + delay, lambda: self._deliver(src, dst_node, msg))
+
+    def _deliver(self, src: str, node: Node, msg: Any) -> None:
+        # CPU model: processing starts when the node's CPU frees up; the
+        # handler's charges extend busy_until from there.
+        start = max(self.scheduler.now, node._busy_until)
+        node._busy_until = start
+        node._processing = True
+        node._pending_charge = 0.0
+        try:
+            node.on_message(src, msg)
+        finally:
+            node._processing = False
+            node._busy_until = start + node._pending_charge
+            node._pending_charge = 0.0
+
+    # -- running ----------------------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run the simulation (delegates to the scheduler)."""
+        self.scheduler.run(until=until, max_events=max_events)
+
+
+def _default_size_of(msg: Any) -> int:
+    """Estimate wire size via the canonical codec when possible."""
+    from .. import codec
+    from ..errors import CodecError
+
+    wire = getattr(msg, "to_wire", None)
+    if wire is not None:
+        try:
+            return len(codec.encode(wire()))
+        except CodecError:
+            return 256
+    try:
+        return len(codec.encode(msg))
+    except CodecError:
+        return 256

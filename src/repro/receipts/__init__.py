@@ -1,0 +1,33 @@
+"""Receipts: succinct, universally-verifiable execution evidence (§3.3, §5.2).
+
+- :mod:`repro.receipts.receipt` — the :class:`Receipt` structure and
+  Alg. 3 verification;
+- :mod:`repro.receipts.collector` — client-side assembly of receipts from
+  ``reply``/``replyx`` messages;
+- :mod:`repro.receipts.chain` — the governance receipt chains clients keep
+  in place of the ledger, with fork detection.
+"""
+
+from .receipt import Receipt, verify_receipt, receipts_equivalent
+from .collector import ReceiptCollector, assemble_receipt, PendingRequest
+from .chain import (
+    GovernanceChain,
+    GovernanceLink,
+    verify_chain,
+    find_chain_fork,
+    longest_chain,
+)
+
+__all__ = [
+    "Receipt",
+    "verify_receipt",
+    "receipts_equivalent",
+    "ReceiptCollector",
+    "assemble_receipt",
+    "PendingRequest",
+    "GovernanceChain",
+    "GovernanceLink",
+    "verify_chain",
+    "find_chain_fork",
+    "longest_chain",
+]

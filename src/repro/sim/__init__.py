@@ -1,0 +1,27 @@
+"""Discrete-event simulation core.
+
+The paper evaluates IA-CCF on a dedicated 16-machine cluster and Azure
+LAN/WAN testbeds.  This package replaces those with a deterministic
+discrete-event simulator: a virtual clock, an event scheduler, a CPU cost
+model calibrated to the paper's hardware (8-core 3.7 GHz E-2288G,
+secp256k1, SHA-256), and metrics collection.  Protocol code runs
+unmodified; crypto and execution *costs* are charged in virtual time so
+throughput/latency curves keep the paper's shape.
+"""
+
+from .clock import VirtualClock
+from .scheduler import EventScheduler
+from .costs import CostModel, DEDICATED_CLUSTER, AZURE_LAN, AZURE_WAN
+from .metrics import LatencyStats, ThroughputMeter, MetricsCollector
+
+__all__ = [
+    "VirtualClock",
+    "EventScheduler",
+    "CostModel",
+    "DEDICATED_CLUSTER",
+    "AZURE_LAN",
+    "AZURE_WAN",
+    "LatencyStats",
+    "ThroughputMeter",
+    "MetricsCollector",
+]

@@ -1,0 +1,27 @@
+"""Virtual time.
+
+All simulation timestamps are float seconds of virtual time starting at
+0.0.  Only the scheduler advances the clock; entities read it.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t`` (scheduler use only)."""
+        if t < self._now:
+            raise SimulationError(f"clock cannot move backwards ({t} < {self._now})")
+        self._now = t

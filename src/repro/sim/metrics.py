@@ -1,0 +1,105 @@
+"""Metrics collection: latency distributions and throughput.
+
+Benchmarks record one latency sample per committed transaction and
+throughput over a measurement window (excluding warm-up), matching the
+paper's methodology ("throughput is measured at the primary replica and
+latency at the clients").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class LatencyStats:
+    """Online latency statistics with percentile support."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0 < p <= 100), nearest-rank."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+
+class ThroughputMeter:
+    """Counts committed transactions inside a measurement window."""
+
+    def __init__(self) -> None:
+        self._committed = 0
+        self._window_start: float | None = None
+        self._window_end: float | None = None
+
+    def start_window(self, now: float) -> None:
+        self._window_start = now
+        self._committed = 0
+
+    def end_window(self, now: float) -> None:
+        self._window_end = now
+
+    def record_commit(self, now: float, count: int = 1) -> None:
+        if self._window_start is not None and now >= self._window_start:
+            if self._window_end is None or now <= self._window_end:
+                self._committed += count
+
+    @property
+    def committed(self) -> int:
+        return self._committed
+
+    def throughput(self) -> float:
+        """Committed transactions per second over the window."""
+        if self._window_start is None or self._window_end is None:
+            return 0.0
+        elapsed = self._window_end - self._window_start
+        return self._committed / elapsed if elapsed > 0 else 0.0
+
+
+@dataclass
+class MetricsCollector:
+    """Bundle of the stats a deployment run produces."""
+
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    throughput: ThroughputMeter = field(default_factory=ThroughputMeter)
+    counters: dict = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a named counter (signatures verified, batches, ...)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def summary(self) -> dict:
+        """A plain-dict summary for printing/serialization."""
+        return {
+            "throughput_tx_s": self.throughput.throughput(),
+            "committed": self.throughput.committed,
+            "latency_mean_ms": self.latency.mean() * 1e3,
+            "latency_p50_ms": self.latency.p50() * 1e3,
+            "latency_p99_ms": self.latency.p99() * 1e3,
+            "counters": dict(self.counters),
+        }

@@ -1,0 +1,26 @@
+"""Benchmark workloads (paper §6).
+
+- :mod:`repro.workloads.smallbank` — the SmallBank banking benchmark the
+  paper evaluates with (5 transaction types over 100K–1M accounts), plus
+  the empty-request workload of Tab. 3 variant (h).
+"""
+
+from .smallbank import (
+    SmallBankWorkload,
+    EmptyWorkload,
+    register_smallbank,
+    register_noop,
+    initial_state,
+    DEFAULT_ACCOUNTS,
+    TX_TYPES,
+)
+
+__all__ = [
+    "SmallBankWorkload",
+    "EmptyWorkload",
+    "register_smallbank",
+    "register_noop",
+    "initial_state",
+    "DEFAULT_ACCOUNTS",
+    "TX_TYPES",
+]

@@ -1,0 +1,156 @@
+"""Canonical codec: round-trips, canonicality, and malformed input."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import codec
+from repro.errors import CodecError
+
+
+SIMPLE_VALUES = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    127,
+    128,
+    -128,
+    2**62,
+    -(2**62),
+    2**200,
+    -(2**200),
+    b"",
+    b"\x00\xff" * 10,
+    "",
+    "hello",
+    "unicode: ✓ é 漢",
+    (),
+    (1, 2, 3),
+    ("a", (b"b", None)),
+    {},
+    {"k": 1},
+    {"a": {"b": (1, 2)}, "z": b"bytes"},
+]
+
+
+@pytest.mark.parametrize("value", SIMPLE_VALUES, ids=repr)
+def test_roundtrip(value):
+    encoded = codec.encode(value)
+    decoded = codec.decode(encoded)
+    if isinstance(value, list):
+        value = tuple(value)
+    assert decoded == value
+
+
+def test_lists_decode_as_tuples():
+    assert codec.decode(codec.encode([1, 2])) == (1, 2)
+
+
+def test_encoding_is_deterministic_across_dict_insertion_order():
+    a = {"x": 1, "y": 2}
+    b = {"y": 2, "x": 1}
+    assert codec.encode(a) == codec.encode(b)
+
+
+def test_distinct_values_encode_distinctly():
+    seen = {}
+    for value in SIMPLE_VALUES:
+        blob = codec.encode(value)
+        assert blob not in seen or seen[blob] == value
+        seen[blob] = value
+
+
+def test_bool_and_int_not_confused():
+    assert codec.encode(True) != codec.encode(1)
+    assert codec.encode(False) != codec.encode(0)
+
+
+def test_bytes_and_str_not_confused():
+    assert codec.encode(b"ab") != codec.encode("ab")
+
+
+def test_trailing_garbage_rejected():
+    blob = codec.encode(42) + b"\x00"
+    with pytest.raises(CodecError):
+        codec.decode(blob)
+
+
+def test_truncated_input_rejected():
+    blob = codec.encode("hello world")
+    for cut in range(1, len(blob)):
+        with pytest.raises(CodecError):
+            codec.decode(blob[:cut])
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(CodecError):
+        codec.decode(b"\x99")
+
+
+def test_non_string_dict_keys_rejected():
+    with pytest.raises(CodecError):
+        codec.encode({1: "x"})
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(CodecError):
+        codec.encode(object())
+
+    with pytest.raises(CodecError):
+        codec.encode(3.14)  # floats are not canonical; must be rejected
+
+
+def test_non_canonical_map_order_rejected():
+    # Hand-build a map with keys out of order: decode must reject it so
+    # every value has exactly one accepted encoding.
+    good = codec.encode({"a": 1, "b": 2})
+    a_part = codec.encode({"a": 1})[2:]  # strip tag+count
+    b_part = codec.encode({"b": 2})[2:]
+    bad = bytes([good[0], good[1]]) + b_part + a_part
+    with pytest.raises(CodecError):
+        codec.decode(bad)
+
+
+def test_decode_stream_yields_each_value():
+    blob = codec.encode(1) + codec.encode("two") + codec.encode((3,))
+    assert list(codec.decode_stream(blob)) == [1, "two", (3,)]
+
+
+def test_encoded_size_matches_len():
+    value = {"k": [1, 2, 3], "s": "abc"}
+    assert codec.encoded_size(value) == len(codec.encode(value))
+
+
+# -- property-based ---------------------------------------------------------
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**100), max_value=2**100)
+    | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda children: st.lists(children, max_size=5).map(tuple)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+
+@given(json_like)
+def test_property_roundtrip(value):
+    assert codec.decode(codec.encode(value)) == _normalize(value)
+
+
+@given(json_like, json_like)
+def test_property_injective(a, b):
+    if _normalize(a) != _normalize(b):
+        assert codec.encode(a) != codec.encode(b)
+
+
+def _normalize(value):
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    return value

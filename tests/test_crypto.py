@@ -1,0 +1,137 @@
+"""Hashing, signature backends, and the nonce commitment scheme."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import (
+    DIGEST_SIZE,
+    PUBLIC_KEY_SIZE,
+    SIGNATURE_SIZE,
+    HashSigBackend,
+    commit_nonce,
+    digest,
+    digest_pair,
+    digest_value,
+    generate_keypair,
+    new_nonce,
+    open_matches,
+    sign,
+    verify,
+)
+from repro.errors import CryptoError
+
+
+class TestHashing:
+    def test_digest_size(self):
+        assert len(digest(b"abc")) == DIGEST_SIZE
+
+    def test_digest_pair_is_concatenation_hash(self):
+        left, right = digest(b"l"), digest(b"r")
+        assert digest_pair(left, right) == digest(left + right)
+
+    def test_digest_value_follows_codec(self):
+        from repro import codec
+
+        value = {"a": 1}
+        assert digest_value(value) == digest(codec.encode(value))
+
+    def test_different_values_different_digests(self):
+        assert digest_value((1, 2)) != digest_value((2, 1))
+
+
+class TestHashSigBackend:
+    def test_deterministic_from_seed(self):
+        backend = HashSigBackend()
+        a = backend.generate(b"seed")
+        b = backend.generate(b"seed")
+        assert a.public_key == b.public_key
+
+    def test_key_sizes_match_secp256k1_shape(self):
+        kp = generate_keypair(b"k")
+        assert len(kp.public_key) == PUBLIC_KEY_SIZE
+        assert len(sign(kp, b"msg")) == SIGNATURE_SIZE
+
+    def test_sign_verify_roundtrip(self):
+        kp = generate_keypair(b"k1")
+        signature = sign(kp, b"message")
+        assert verify(kp.public_key, b"message", signature)
+
+    def test_wrong_message_fails(self):
+        kp = generate_keypair(b"k2")
+        signature = sign(kp, b"message")
+        assert not verify(kp.public_key, b"other", signature)
+
+    def test_wrong_key_fails(self):
+        kp1, kp2 = generate_keypair(b"a"), generate_keypair(b"b")
+        signature = sign(kp1, b"m")
+        assert not verify(kp2.public_key, b"m", signature)
+
+    def test_tampered_signature_fails(self):
+        kp = generate_keypair(b"k3")
+        signature = bytearray(sign(kp, b"m"))
+        signature[0] ^= 1
+        assert not verify(kp.public_key, b"m", bytes(signature))
+
+    def test_unknown_public_key_fails(self):
+        kp = generate_keypair(b"k4")
+        fake = b"\x02" + b"\x07" * 32
+        assert not verify(fake, b"m", sign(kp, b"m"))
+
+    def test_bad_key_length_raises(self):
+        kp = generate_keypair(b"k5")
+        with pytest.raises(CryptoError):
+            verify(b"short", b"m", sign(kp, b"m"))
+
+    def test_short_signature_is_invalid_not_error(self):
+        kp = generate_keypair(b"k6")
+        assert not verify(kp.public_key, b"m", b"short")
+
+    def test_repr_hides_secret(self):
+        kp = generate_keypair(b"k7")
+        assert kp.secret.hex() not in repr(kp)
+
+
+class TestNonceCommitment:
+    def test_new_nonce_opens_its_commitment(self):
+        nc = new_nonce(b"s")
+        assert open_matches(nc.nonce, nc.commitment)
+
+    def test_commit_nonce_matches(self):
+        nc = new_nonce(b"s2")
+        assert commit_nonce(nc.nonce) == nc.commitment
+
+    def test_wrong_nonce_does_not_open(self):
+        a, b = new_nonce(b"x"), new_nonce(b"y")
+        assert not open_matches(a.nonce, b.commitment)
+
+    def test_deterministic_from_seed(self):
+        assert new_nonce(b"s").nonce == new_nonce(b"s").nonce
+
+    def test_bad_nonce_length_raises(self):
+        with pytest.raises(CryptoError):
+            commit_nonce(b"short")
+
+    def test_commitment_mismatch_rejected_at_construction(self):
+        from repro.crypto.nonces import NonceCommitment
+
+        nc = new_nonce(b"z")
+        with pytest.raises(CryptoError):
+            NonceCommitment(nonce=nc.nonce, commitment=b"\x00" * 32)
+
+    @given(st.binary(min_size=32, max_size=32))
+    def test_property_only_preimage_opens(self, fake):
+        nc = new_nonce(b"prop")
+        if fake != nc.nonce:
+            assert not open_matches(fake, nc.commitment)
+
+
+class TestEd25519Backend:
+    def test_ed25519_if_available(self):
+        pytest.importorskip("cryptography")
+        from repro.crypto import Ed25519Backend
+
+        backend = Ed25519Backend()
+        kp = backend.generate(b"seed")
+        signature = backend.sign(kp, b"msg")
+        assert backend.verify(kp.public_key, b"msg", signature)
+        assert not backend.verify(kp.public_key, b"other", signature)

@@ -1,0 +1,112 @@
+"""View changes: failover, safety across views, and catch-up (Alg. 2)."""
+
+import pytest
+
+from repro.lpbft import ProtocolParams
+from repro.receipts import verify_receipt
+from repro.workloads import SmallBankWorkload
+
+from conftest import build_deployment
+
+VC_PARAMS = ProtocolParams(
+    pipeline=2, max_batch=20, checkpoint_interval=20,
+    batch_delay=0.0005, view_change_timeout=0.3,
+)
+
+
+@pytest.fixture(scope="module")
+def failover_run():
+    """A full scenario: commits in view 0, primary partitioned, view
+    change, more commits, heal, old primary catches up."""
+    dep = build_deployment(params=VC_PARAMS, seed=b"vc")
+    client = dep.add_client(retry_timeout=0.5)
+    dep.start()
+    wl = SmallBankWorkload(n_accounts=200, seed=11)
+    phase1 = [client.submit(*wl.next_transaction(), min_index=0) for _ in range(40)]
+    dep.run(until=0.2)
+    committed_v0 = dep.committed_seqnos()[0]
+    dep.net.partition({"replica-0"}, {"replica-1", "replica-2", "replica-3", client.address})
+    phase2 = [client.submit(*wl.next_transaction(), min_index=0) for _ in range(30)]
+    dep.run(until=4.0)
+    dep.net.heal_partitions()
+    phase3 = [client.submit(*wl.next_transaction(), min_index=0) for _ in range(20)]
+    dep.run(until=12.0)
+    return dep, client, phase1 + phase2 + phase3, committed_v0
+
+
+def test_progress_resumes_after_primary_failure(failover_run):
+    dep, _, _, committed_v0 = failover_run
+    assert dep.replicas[1].committed_upto > committed_v0
+
+
+def test_view_advanced(failover_run):
+    dep, _, _, _ = failover_run
+    assert all(r.view >= 1 for r in dep.replicas[1:])
+
+
+def test_all_receipts_eventually_complete(failover_run):
+    dep, client, digests, _ = failover_run
+    assert len(client.receipts) == len(digests)
+
+
+def test_ledgers_agree_after_failover(failover_run):
+    dep, _, _, _ = failover_run
+    assert dep.ledgers_agree()
+
+
+def test_old_primary_caught_up(failover_run):
+    dep, _, _, _ = failover_run
+    frontier = max(r.committed_upto for r in dep.replicas)
+    assert dep.replicas[0].committed_upto == frontier
+
+
+def test_receipts_from_both_views_verify(failover_run):
+    dep, client, digests, _ = failover_run
+    views = {client.receipts[d].view for d in digests}
+    assert len(views) >= 2, "expected receipts from at least two views"
+    for d in digests:
+        assert verify_receipt(client.receipts[d], dep.genesis_config)
+
+
+def test_view_change_entries_in_ledger(failover_run):
+    dep, _, _, _ = failover_run
+    from repro.ledger import NewViewEntry, ViewChangesEntry
+
+    ledger = dep.replicas[1].ledger
+    kinds = [type(e) for e in ledger]
+    assert ViewChangesEntry in kinds and NewViewEntry in kinds
+
+
+def test_view_change_set_has_quorum_signatures(failover_run):
+    dep, _, _, _ = failover_run
+    from repro.ledger import ViewChangesEntry
+
+    ledger = dep.replicas[1].ledger
+    entry = next(e for e in ledger if isinstance(e, ViewChangesEntry))
+    vcs = entry.view_changes()
+    assert len(vcs) >= dep.genesis_config.quorum
+    config = dep.genesis_config
+    for vc in vcs:
+        key = config.replica_key(vc.replica)
+        assert dep.backend.verify(key, vc.signed_payload(), vc.signature)
+
+
+def test_no_committed_transaction_lost(failover_run):
+    """Safety: every receipt the client holds matches the final ledger."""
+    dep, client, digests, _ = failover_run
+    ledger = dep.replicas[1].ledger
+    for d in digests:
+        receipt = client.receipts[d]
+        entry = ledger.entry_at_index(receipt.index)
+        assert entry.output == receipt.output
+
+
+def test_fragment_well_formed_after_view_change(failover_run):
+    dep, _, _, _ = failover_run
+    from repro.ledger.wellformed import check_well_formed
+
+    replica = dep.replicas[1]
+    issues = check_well_formed(
+        replica.ledger.fragment(0), replica.schedule, dep.params.pipeline
+    )
+    assert issues == []

@@ -1,0 +1,186 @@
+"""Ledger entries, append/truncate, fragments, and batch indexing."""
+
+import pytest
+
+from repro.errors import LedgerError
+from repro.crypto import generate_keypair, default_backend
+from repro.ledger import (
+    CheckpointTxEntry,
+    EvidenceEntry,
+    GenesisEntry,
+    Ledger,
+    LedgerFragment,
+    NoncesEntry,
+    PrePrepareEntry,
+    TxEntry,
+    entry_from_wire,
+)
+from repro.lpbft.messages import PrePrepare, Prepare, TransactionRequest
+
+
+def make_request(n=0):
+    kp = generate_keypair(b"client")
+    req = TransactionRequest(
+        procedure="p", args={"n": n}, client=kp.public_key,
+        service=b"\x01" * 32, min_index=0, nonce=n,
+    )
+    return req.with_signature(default_backend().sign(kp, req.signed_payload()))
+
+
+def make_pp(view=0, seqno=1, **kw):
+    fields = dict(
+        view=view, seqno=seqno, root_m=b"\x02" * 32, root_g=b"\x03" * 32,
+        nonce_commitment=b"\x04" * 32, evidence_bitmap=0, gov_index=0,
+        checkpoint_digest=b"\x05" * 32,
+    )
+    fields.update(kw)
+    return PrePrepare(**fields)
+
+
+class TestEntries:
+    def test_genesis_service_name_is_digest(self):
+        entry = GenesisEntry(config_wire=("configuration", 0, (), (), 1))
+        assert entry.service_name() == entry.digest()
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            GenesisEntry(config_wire=("c",)),
+            TxEntry(request_wire=make_request().to_wire(), index=3, output={"reply": 1, "ws": b"\x00" * 32}),
+            CheckpointTxEntry(cp_seqno=10, cp_digest=b"\x06" * 32, ledger_size=40, ledger_root=b"\x07" * 32, index=5),
+            EvidenceEntry(seqno=4, view=0, prepare_wires=(Prepare(1, b"\x08" * 32, b"\x09" * 32, b"sig").to_wire(),)),
+            NoncesEntry(seqno=4, view=0, bitmap=0b111, nonces=(b"\x0a" * 32,) * 3),
+            PrePrepareEntry(pp_wire=make_pp().to_wire()),
+        ],
+        ids=lambda e: e.kind,
+    )
+    def test_wire_roundtrip(self, entry):
+        again = entry_from_wire(entry.to_wire())
+        assert again == entry
+        assert again.digest() == entry.digest()
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(LedgerError):
+            entry_from_wire(("bogus", 1))
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(LedgerError):
+            entry_from_wire(("tx",))
+
+    def test_tx_entry_tio(self):
+        req = make_request()
+        entry = TxEntry(request_wire=req.to_wire(), index=7, output={"reply": "ok", "ws": b"\x00" * 32})
+        t, i, o = entry.tio()
+        assert t == req.to_wire() and i == 7
+
+    def test_encoded_size_positive(self):
+        assert GenesisEntry(config_wire=("c",)).encoded_size() > 0
+
+
+class TestLedger:
+    def build(self, n_batches=3, txs_per_batch=2):
+        ledger = Ledger(GenesisEntry(config_wire=("c",)))
+        counter = 0
+        for s in range(1, n_batches + 1):
+            ledger.append(PrePrepareEntry(pp_wire=make_pp(seqno=s).to_wire()))
+            for _ in range(txs_per_batch):
+                counter += 1
+                ledger.append(
+                    TxEntry(
+                        request_wire=make_request(counter).to_wire(),
+                        index=len(ledger),
+                        output={"reply": counter, "ws": b"\x00" * 32},
+                    )
+                )
+        return ledger
+
+    def test_append_and_index(self):
+        ledger = self.build()
+        assert len(ledger) == 1 + 3 * 3
+        assert ledger.last_seqno() == 3
+        info = ledger.batch(2)
+        assert info.tx_count == 2
+        assert ledger.batch_pre_prepare(2).seqno == 2
+
+    def test_batch_entries(self):
+        ledger = self.build()
+        entries = ledger.batch_entries(1)
+        assert len(entries) == 2
+        assert all(isinstance(e, TxEntry) for e in entries)
+
+    def test_root_changes_per_append(self):
+        ledger = Ledger(GenesisEntry(config_wire=("c",)))
+        r0 = ledger.root()
+        ledger.append(PrePrepareEntry(pp_wire=make_pp().to_wire()))
+        assert ledger.root() != r0
+
+    def test_root_at_history(self):
+        ledger = self.build()
+        full_root = ledger.root()
+        mid = ledger.root_at(4)
+        assert mid != full_root
+        assert ledger.root_at(len(ledger)) == full_root
+
+    def test_truncate_removes_batches(self):
+        ledger = self.build(n_batches=3)
+        size_after_two = ledger.batch(2).end
+        removed = ledger.truncate(size_after_two)
+        assert ledger.last_seqno() == 2
+        assert len(removed) == 3  # pp + 2 txs of batch 3
+        assert ledger.batch(3) is None
+
+    def test_truncate_bad_size(self):
+        with pytest.raises(LedgerError):
+            self.build().truncate(999)
+
+    def test_out_of_range_entry(self):
+        with pytest.raises(LedgerError):
+            self.build().entry(999)
+
+    def test_unknown_batch(self):
+        with pytest.raises(LedgerError):
+            self.build().batch_entries(9)
+
+
+class TestFragments:
+    def test_fragment_roundtrip(self):
+        ledger = TestLedger().build()
+        frag = ledger.fragment(0)
+        entries = frag.entries()
+        assert len(entries) == len(ledger)
+        assert entries[0] == ledger.entry(0)
+
+    def test_fragment_to_ledger(self):
+        ledger = TestLedger().build()
+        again = ledger.fragment(0).to_ledger()
+        assert again.root() == ledger.root()
+        assert again.last_seqno() == ledger.last_seqno()
+
+    def test_partial_fragment_cannot_materialize(self):
+        ledger = TestLedger().build()
+        with pytest.raises(LedgerError):
+            ledger.fragment(2).to_ledger()
+
+    def test_fragment_entry_by_absolute_index(self):
+        ledger = TestLedger().build()
+        frag = ledger.fragment(2, 6)
+        assert frag.entry(3) == ledger.entry(3)
+        with pytest.raises(LedgerError):
+            frag.entry(0)
+
+    def test_bad_range(self):
+        with pytest.raises(LedgerError):
+            TestLedger().build().fragment(5, 2)
+
+    def test_gov_index_tracking(self):
+        ledger = Ledger(GenesisEntry(config_wire=("c",)))
+        assert ledger.last_gov_index == 0
+        ledger.append(PrePrepareEntry(pp_wire=make_pp().to_wire()))
+        kp = generate_keypair(b"m")
+        gov_req = TransactionRequest(
+            procedure="gov.vote", args={}, client=kp.public_key,
+            service=b"\x01" * 32, min_index=0, nonce=1,
+        )
+        ledger.append(TxEntry(request_wire=gov_req.to_wire(), index=2, output={}))
+        assert ledger.last_gov_index == 2
+        assert ledger.governance_indices() == [0, 2]

@@ -1,0 +1,179 @@
+"""Merkle trees: roots, historical roots, truncation, inclusion proofs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import EMPTY_DIGEST, digest
+from repro.errors import MerkleError
+from repro.merkle import MerklePath, MerkleTree, path_root, verify_path
+
+
+def leaves(n, tag=b""):
+    return [digest(tag + bytes([i % 256, i // 256])) for i in range(n)]
+
+
+class TestBasics:
+    def test_empty_tree_root(self):
+        assert MerkleTree().root() == EMPTY_DIGEST
+
+    def test_single_leaf_root_is_leaf(self):
+        leaf = digest(b"x")
+        tree = MerkleTree([leaf])
+        assert tree.root() == leaf
+
+    def test_two_leaves(self):
+        a, b = digest(b"a"), digest(b"b")
+        tree = MerkleTree([a, b])
+        assert tree.root() == digest(a + b)
+
+    def test_append_returns_index(self):
+        tree = MerkleTree()
+        assert tree.append(digest(b"0")) == 0
+        assert tree.append(digest(b"1")) == 1
+
+    def test_len_and_leaf_access(self):
+        ls = leaves(5)
+        tree = MerkleTree(ls)
+        assert len(tree) == 5
+        assert tree.leaf(3) == ls[3]
+        with pytest.raises(MerkleError):
+            tree.leaf(5)
+
+    def test_bad_leaf_size_rejected(self):
+        with pytest.raises(MerkleError):
+            MerkleTree().append(b"short")
+
+    def test_equality(self):
+        assert MerkleTree(leaves(4)) == MerkleTree(leaves(4))
+        assert MerkleTree(leaves(4)) != MerkleTree(leaves(5))
+
+
+class TestRoots:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33])
+    def test_incremental_root_matches_batch(self, n):
+        ls = leaves(n)
+        incremental = MerkleTree()
+        for leaf in ls:
+            incremental.append(leaf)
+        assert incremental.root() == MerkleTree(ls).root()
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 6, 12, 20])
+    def test_root_at_matches_smaller_tree(self, n):
+        ls = leaves(n)
+        tree = MerkleTree(ls)
+        for size in range(n + 1):
+            assert tree.root_at(size) == MerkleTree(ls[:size]).root()
+
+    def test_root_at_out_of_range(self):
+        with pytest.raises(MerkleError):
+            MerkleTree(leaves(3)).root_at(4)
+
+    def test_roots_distinguish_order(self):
+        a, b = leaves(2)
+        assert MerkleTree([a, b]).root() != MerkleTree([b, a]).root()
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("n,size", [(5, 3), (8, 8), (8, 0), (17, 16), (9, 1)])
+    def test_truncate_equals_rebuild(self, n, size):
+        ls = leaves(n)
+        tree = MerkleTree(ls)
+        tree.truncate(size)
+        assert tree == MerkleTree(ls[:size])
+        assert tree.root() == MerkleTree(ls[:size]).root()
+
+    def test_truncate_then_append_diverges(self):
+        tree = MerkleTree(leaves(6))
+        tree.truncate(4)
+        tree.append(digest(b"new"))
+        other = MerkleTree(leaves(6)[:4] + [digest(b"new")])
+        assert tree.root() == other.root()
+
+    def test_truncate_beyond_size_rejected(self):
+        with pytest.raises(MerkleError):
+            MerkleTree(leaves(3)).truncate(4)
+
+    def test_copy_is_independent(self):
+        tree = MerkleTree(leaves(4))
+        clone = tree.copy()
+        clone.append(digest(b"extra"))
+        assert len(tree) == 4 and len(clone) == 5
+
+
+class TestProofs:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 16, 21])
+    def test_every_leaf_proves_inclusion(self, n):
+        ls = leaves(n)
+        tree = MerkleTree(ls)
+        root = tree.root()
+        for i, leaf in enumerate(ls):
+            path = tree.path(i)
+            assert verify_path(leaf, path, root)
+
+    def test_historical_proof(self):
+        ls = leaves(10)
+        tree = MerkleTree(ls)
+        path = tree.path(2, size=6)
+        assert verify_path(ls[2], path, tree.root_at(6))
+
+    def test_wrong_leaf_fails(self):
+        ls = leaves(6)
+        tree = MerkleTree(ls)
+        path = tree.path(1)
+        assert not verify_path(ls[2], path, tree.root())
+
+    def test_wrong_root_fails(self):
+        ls = leaves(6)
+        tree = MerkleTree(ls)
+        assert not verify_path(ls[1], tree.path(1), digest(b"other"))
+
+    def test_path_length_is_logarithmic(self):
+        tree = MerkleTree(leaves(300))
+        assert len(tree.path(123)) <= 9  # ceil(log2(300)) == 9
+
+    def test_path_wire_roundtrip(self):
+        tree = MerkleTree(leaves(7))
+        path = tree.path(3)
+        again = MerklePath.from_wire(path.to_wire())
+        assert again == path
+        assert verify_path(tree.leaf(3), again, tree.root())
+
+    def test_path_out_of_range(self):
+        tree = MerkleTree(leaves(4))
+        with pytest.raises(MerkleError):
+            tree.path(4)
+
+
+# -- property-based ---------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=64), st.data())
+def test_property_inclusion_sound(n, data):
+    ls = leaves(n, tag=b"prop")
+    tree = MerkleTree(ls)
+    index = data.draw(st.integers(min_value=0, max_value=n - 1))
+    assert verify_path(ls[index], tree.path(index), tree.root())
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=48), st.data())
+def test_property_truncate_root_matches(n, data):
+    ls = leaves(n, tag=b"trunc")
+    size = data.draw(st.integers(min_value=0, max_value=n))
+    tree = MerkleTree(ls)
+    tree.truncate(size)
+    assert tree.root() == MerkleTree(ls[:size]).root()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=40))
+def test_property_root_at_consistent_with_append_history(n):
+    ls = leaves(n, tag=b"hist")
+    tree = MerkleTree()
+    roots = [tree.root()]
+    for leaf in ls:
+        tree.append(leaf)
+        roots.append(tree.root())
+    for size, expected in enumerate(roots):
+        assert tree.root_at(size) == expected

@@ -1,0 +1,145 @@
+"""L-PBFT message wire forms, signing payloads, and bitmaps."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.crypto import generate_keypair, default_backend
+from repro.lpbft.messages import (
+    Commit,
+    NewView,
+    Prepare,
+    PrePrepare,
+    Reply,
+    ReplyX,
+    TransactionRequest,
+    ViewChange,
+    bitmap_members,
+    bitmap_of,
+)
+
+
+def signed(msg, kp=None):
+    kp = kp or generate_keypair(b"signer")
+    return msg.with_signature(default_backend().sign(kp, msg.signed_payload())), kp
+
+
+class TestWireRoundtrips:
+    def test_request(self):
+        req = TransactionRequest(
+            procedure="p", args={"k": 1}, client=b"\x02" * 33,
+            service=b"\x01" * 32, min_index=5, nonce=9, signature=b"s",
+        )
+        assert TransactionRequest.from_wire(req.to_wire()) == req
+
+    def test_pre_prepare(self):
+        pp = PrePrepare(
+            view=1, seqno=2, root_m=b"\x01" * 32, root_g=b"\x02" * 32,
+            nonce_commitment=b"\x03" * 32, evidence_bitmap=0b101, gov_index=4,
+            checkpoint_digest=b"\x04" * 32, flags=1, committed_root=b"\x05" * 32,
+            signature=b"sig",
+        )
+        assert PrePrepare.from_wire(pp.to_wire()) == pp
+
+    def test_prepare(self):
+        p = Prepare(replica=3, nonce_commitment=b"\x01" * 32, pp_digest=b"\x02" * 32, signature=b"s")
+        assert Prepare.from_wire(p.to_wire()) == p
+
+    def test_commit(self):
+        c = Commit(view=0, seqno=7, replica=2, nonce=b"\x03" * 32)
+        assert Commit.from_wire(c.to_wire()) == c
+
+    def test_reply(self):
+        r = Reply(view=0, seqno=7, replica=2, signature=b"sig", nonce=b"\x03" * 32)
+        assert Reply.from_wire(r.to_wire()) == r
+
+    def test_replyx(self):
+        rx = ReplyX(
+            view=0, seqno=7, root_m=b"\x01" * 32, primary_nonce_commitment=b"\x02" * 32,
+            evidence_bitmap=0, gov_index=0, checkpoint_digest=b"\x03" * 32, flags=0,
+            committed_root=b"", tx_digest=b"\x04" * 32, index=9, output={"reply": 1},
+            path=(0, 1, ()),
+        )
+        assert ReplyX.from_wire(rx.to_wire()) == rx
+
+    def test_view_change(self):
+        vc = ViewChange(view=2, replica=1, prepared=(), signature=b"s")
+        assert ViewChange.from_wire(vc.to_wire()) == vc
+
+    def test_new_view(self):
+        nv = NewView(view=2, root_m=b"\x01" * 32, vc_bitmap=0b111, vc_digest=b"\x02" * 32, signature=b"s")
+        assert NewView.from_wire(nv.to_wire()) == nv
+
+    @pytest.mark.parametrize(
+        "cls,wire",
+        [
+            (TransactionRequest, ("wrong", 1)),
+            (PrePrepare, ("pre-prepare", 1)),
+            (Prepare, ("nope", 1, 2, 3, 4)),
+            (Commit, ("commit", 1)),
+            (ViewChange, ("view-change", 1)),
+            (NewView, ("new-view", 1)),
+        ],
+    )
+    def test_malformed_rejected(self, cls, wire):
+        with pytest.raises(ProtocolError):
+            cls.from_wire(wire)
+
+
+class TestSignedPayloads:
+    def test_signature_excluded_from_payload(self):
+        pp = PrePrepare(
+            view=0, seqno=1, root_m=b"\x01" * 32, root_g=b"\x02" * 32,
+            nonce_commitment=b"\x03" * 32, evidence_bitmap=0, gov_index=0,
+            checkpoint_digest=b"\x04" * 32,
+        )
+        assert pp.signed_payload() == pp.with_signature(b"whatever").signed_payload()
+
+    def test_payloads_domain_separated(self):
+        # A prepare payload can never collide with a pre-prepare payload.
+        p = Prepare(replica=0, nonce_commitment=b"\x01" * 32, pp_digest=b"\x02" * 32)
+        pp = PrePrepare(
+            view=0, seqno=0, root_m=b"\x01" * 32, root_g=b"\x02" * 32,
+            nonce_commitment=b"\x01" * 32, evidence_bitmap=0, gov_index=0,
+            checkpoint_digest=b"\x02" * 32,
+        )
+        assert p.signed_payload() != pp.signed_payload()
+
+    def test_signature_verifies(self):
+        req = TransactionRequest(
+            procedure="p", args={}, client=b"\x02" * 33, service=b"\x01" * 32,
+            min_index=0, nonce=0,
+        )
+        signed_req, kp = signed(req)
+        assert default_backend().verify(kp.public_key, signed_req.signed_payload(), signed_req.signature)
+
+    def test_request_digest_covers_signature(self):
+        req = TransactionRequest(
+            procedure="p", args={}, client=b"\x02" * 33, service=b"\x01" * 32,
+            min_index=0, nonce=0,
+        )
+        assert req.request_digest() != req.with_signature(b"s").request_digest()
+
+    def test_pp_digest_distinct_per_view(self):
+        base = dict(
+            seqno=1, root_m=b"\x01" * 32, root_g=b"\x02" * 32,
+            nonce_commitment=b"\x03" * 32, evidence_bitmap=0, gov_index=0,
+            checkpoint_digest=b"\x04" * 32,
+        )
+        assert PrePrepare(view=0, **base).digest() != PrePrepare(view=1, **base).digest()
+
+
+class TestBitmaps:
+    def test_roundtrip(self):
+        ids = [0, 3, 5, 63]
+        assert bitmap_members(bitmap_of(ids)) == ids
+
+    def test_empty(self):
+        assert bitmap_of([]) == 0
+        assert bitmap_members(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            bitmap_of([-1])
+
+    def test_dedupe(self):
+        assert bitmap_members(bitmap_of([2, 2, 2])) == [2]
