@@ -1,0 +1,149 @@
+"""PR 1 before/after micro-benchmark: verify cache + incremental Merkle roots.
+
+Measures host wall-clock of the two hot paths the overhaul optimizes, on
+SmallBank-workload inputs:
+
+1. *Repeated-signature verification* — every client-request signature is
+   verified by all N replicas of a deployment.  Before: N independent
+   cryptographic verifications per request.  After: one real verification
+   plus N−1 cache hits (shared :class:`SignatureVerifyCache`).
+
+2. *Merkle-root maintenance* — auditors and ``ledgers_agree`` query the
+   ledger root at every batch boundary.  Before: each ``root_at(size)``
+   recomputed the subtree from the leaves (O(size)).  After: memoized
+   interior nodes + root frontier answer from cache.
+
+Run as a script; writes ``BENCH_pr1.json`` next to the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_pr1_hotpath.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.crypto.hashing import digest_value
+from repro.crypto.signatures import HashSigBackend, SignatureVerifyCache
+from repro.lpbft.messages import TransactionRequest
+from repro.merkle import MerkleTree
+from repro.merkle.tree import _subtree_root
+from repro.workloads import SmallBankWorkload
+
+N_REPLICAS = 4
+
+
+def _best_of(fn, repetitions: int = 3) -> float:
+    """Minimum wall-clock over a few repetitions (damps host noise)."""
+    return min(_timed(fn) for _ in range(repetitions))
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def bench_signature_verification(n_requests: int = 2_000) -> dict:
+    """Each of N_REPLICAS replicas verifies every SmallBank request."""
+    backend = HashSigBackend()
+    client_kp = backend.generate(b"bench-client")
+    wl = SmallBankWorkload(n_accounts=10_000, seed=42)
+    requests = []
+    for _ in range(n_requests):
+        procedure, args = wl.next_transaction()
+        req = TransactionRequest(
+            procedure=procedure, args=tuple(sorted(args.items())),
+            client=client_kp.public_key, service=b"\x00" * 32, min_index=0, nonce=len(requests),
+        )
+        requests.append(req.with_signature(backend.sign(client_kp, req.signed_payload())))
+
+    payloads = [(r.client, r.signed_payload(), r.signature) for r in requests]
+
+    def uncached_pass() -> None:
+        for _replica in range(N_REPLICAS):
+            for pk, payload, sig in payloads:
+                assert backend.verify(pk, payload, sig)
+
+    caches = []
+
+    def cached_pass() -> None:
+        cache = SignatureVerifyCache()
+        caches.append(cache)
+        for _replica in range(N_REPLICAS):
+            for pk, payload, sig in payloads:
+                assert cache.verify(pk, payload, sig, backend)
+
+    uncached = _best_of(uncached_pass)
+    cached = _best_of(cached_pass)
+
+    return {
+        "requests": n_requests,
+        "replicas": N_REPLICAS,
+        "uncached_s": round(uncached, 6),
+        "cached_s": round(cached, 6),
+        "speedup": round(uncached / cached, 2),
+        "cache_hits": caches[-1].stats.hits,
+        "cache_misses": caches[-1].stats.misses,
+    }
+
+
+def bench_merkle_root_maintenance(n_entries: int = 3_000, batch: int = 20) -> dict:
+    """Append SmallBank entry digests; query the root at every batch
+    boundary as commits land (the ledgers_agree / audit access pattern)."""
+    wl = SmallBankWorkload(n_accounts=10_000, seed=7)
+    leaves = []
+    for i in range(n_entries):
+        procedure, args = wl.next_transaction()
+        leaves.append(digest_value((procedure, tuple(sorted(args.items())), i)))
+
+    boundaries = list(range(batch, n_entries + 1, batch))
+    before_roots: list = []
+    after_roots: list = []
+
+    # Before: recompute each queried root from the leaf list (seed behavior
+    # of MerkleTree.root_at).
+    def recompute_pass() -> None:
+        before_roots[:] = [_subtree_root(leaves, 0, size) for size in boundaries]
+
+    # After: incremental tree with memoized nodes + root frontier.
+    def incremental_pass() -> None:
+        tree = MerkleTree()
+        for leaf in leaves:
+            tree.append(leaf)
+        after_roots[:] = [tree.root_at(size) for size in boundaries]
+
+    recompute = _best_of(recompute_pass)
+    incremental = _best_of(incremental_pass)
+
+    assert before_roots == after_roots
+    return {
+        "entries": n_entries,
+        "root_queries": len(boundaries),
+        "recompute_s": round(recompute, 6),
+        "incremental_s": round(incremental, 6),
+        "speedup": round(recompute / incremental, 2),
+    }
+
+
+def main() -> int:
+    result = {
+        "description": "PR 1 hot-path overhaul: host wall-clock, SmallBank inputs",
+        "signature_verification": bench_signature_verification(),
+        "merkle_root_maintenance": bench_merkle_root_maintenance(),
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_pr1.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    ok = (
+        result["signature_verification"]["speedup"] >= 2.0
+        or result["merkle_root_maintenance"]["speedup"] >= 2.0
+    )
+    print(f"\n>= 2x speedup criterion: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,10 @@ class Auditor:
         self.registry = registry
         self.params = params
         self.backend = backend or signatures.default_backend()
+        # Receipts from the same batch share primary/prepare signatures;
+        # memoizing verification makes bulk audits do each one once.
+        # Honors the params toggle so A/B benchmarks get a true baseline.
+        self.verify_cache = signatures.SignatureVerifyCache() if params.verify_cache else None
 
     # -- entry point (Alg. 4 ``audit``) -------------------------------------------------
 
@@ -101,7 +105,9 @@ class Auditor:
         schedules = []
         for chain in chains:
             try:
-                schedules.append(verify_chain(chain, self.params.pipeline, self.backend))
+                schedules.append(
+                    verify_chain(chain, self.params.pipeline, self.backend, cache=self.verify_cache)
+                )
             except ReceiptError as exc:
                 raise AuditError(f"invalid supporting governance chain: {exc}") from exc
         for i in range(len(chains)):
@@ -128,7 +134,7 @@ class Auditor:
                         )
                     )
         best = longest_chain(chains) if not result.upoms else chains[0]
-        return verify_chain(best, self.params.pipeline, self.backend)
+        return verify_chain(best, self.params.pipeline, self.backend, cache=self.verify_cache)
 
     # -- step 2: receipt validity (Alg. 4 ``auditReceipts``) ----------------------------------
 
@@ -138,7 +144,7 @@ class Auditor:
         by_slot: dict[tuple[int, int], Receipt] = {}
         for receipt in receipts:
             config = schedule.config_at_seqno(receipt.seqno)
-            if not verify_receipt(receipt, config, self.backend):
+            if not verify_receipt(receipt, config, self.backend, cache=self.verify_cache):
                 raise AuditError(
                     f"receipt at seqno {receipt.seqno} does not verify; nothing to blame"
                 )

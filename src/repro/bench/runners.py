@@ -66,8 +66,13 @@ def run_iaccf_point(
     client_site: str = "local",
     seed: int = 0,
     label: str = "IA-CCF",
+    partition: tuple[list[int], float, float] | None = None,
 ) -> BenchPoint:
-    """Measure IA-CCF (or a feature variant of it) at one offered load."""
+    """Measure IA-CCF (or a feature variant of it) at one offered load.
+
+    ``partition`` — ``(isolated_replica_ids, start, duration)`` — schedules
+    a transient partition during the run (WAN outage scenarios); it heals
+    automatically after ``duration`` seconds."""
     params = params or ProtocolParams(
         pipeline=2, max_batch=300, checkpoint_interval=10_000, batch_delay=0.0005,
         view_change_timeout=30.0,
@@ -97,11 +102,26 @@ def run_iaccf_point(
     load.recording = False
     primary_metrics = dep.metrics
     dep.start()
+    if partition is not None:
+        isolated_ids, p_start, p_duration = partition
+        dep.partition_replicas(isolated_ids, start=p_start, duration=p_duration)
     dep.net.scheduler.after(warmup, lambda: _open_window(primary_metrics, load))
     dep.net.scheduler.at(duration, lambda: _close_window(primary_metrics, load))
     dep.run(until=duration + 0.2)
     summary = primary_metrics.summary()
     lat = load.metrics.latency
+    extra = {
+        "committed": summary["committed"],
+        "counters": summary["counters"],
+        "submitted": load.submitted,
+        "messages_dropped": dep.net.messages_dropped,
+    }
+    if dep.verify_cache is not None:
+        extra["verify_cache"] = {
+            "hits": dep.verify_cache.stats.hits,
+            "misses": dep.verify_cache.stats.misses,
+            "hit_rate": round(dep.verify_cache.stats.hit_rate(), 4),
+        }
     return BenchPoint(
         system=label,
         offered_tps=rate,
@@ -109,11 +129,7 @@ def run_iaccf_point(
         latency_mean_ms=lat.mean() * 1e3,
         latency_p50_ms=lat.p50() * 1e3,
         latency_p99_ms=lat.p99() * 1e3,
-        extra={
-            "committed": summary["committed"],
-            "counters": summary["counters"],
-            "submitted": load.submitted,
-        },
+        extra=extra,
     )
 
 
@@ -246,8 +262,11 @@ def print_table(title: str, points: list[BenchPoint]) -> None:
         print("  " + point.row())
 
 
-def wan_sites(n_replicas: int) -> dict[int, str]:
-    """Assign replicas round-robin to the three Azure WAN regions (§6)."""
+def wan_sites(n_replicas: int, regions: tuple[str, ...] | None = None) -> dict[int, str]:
+    """Assign replicas round-robin to WAN regions (default: the three
+    Azure regions of §6; pass e.g. ``REGIONS_GLOBAL`` for other
+    topologies)."""
     from ..network.latency import REGIONS_WAN
 
-    return {i: REGIONS_WAN[i % len(REGIONS_WAN)] for i in range(n_replicas)}
+    regions = regions or REGIONS_WAN
+    return {i: regions[i % len(regions)] for i in range(n_replicas)}

@@ -55,7 +55,12 @@ class LPBFTClient(Node):
         self.metrics = metrics or MetricsCollector()
         self.backend = backend or signatures.default_backend()
         self.replica_addresses = list(replica_addresses)
-        self.collector = ReceiptCollector(genesis_config, verify=verify_receipts, backend=self.backend)
+        self.collector = ReceiptCollector(
+            genesis_config,
+            verify=verify_receipts,
+            backend=self.backend,
+            use_cache=params.verify_cache,
+        )
         self.gov_chain = GovernanceChain.genesis(genesis_config)
         self.on_receipt = on_receipt
         self.retry_timeout = retry_timeout

@@ -30,6 +30,14 @@ class ProtocolParams:
     batch_delay: float = 0.0005  # primary waits this long to fill a batch
     request_queue_cap: int = 3000  # admission control: drop new requests beyond this backlog
 
+    # Hot-path optimizations.  ``verify_cache`` memoizes signature checks
+    # over (key, payload, sig) triples across the deployment's replicas;
+    # ``batch_verify`` verifies evidence-bundle signature sets in one
+    # batched call.  Both are behavior-preserving (simulated CPU costs are
+    # charged either way) and exist as toggles for A/B benchmarking.
+    verify_cache: bool = True
+    batch_verify: bool = True
+
     # Feature toggles (Tab. 3 variants).
     receipts: bool = True
     checkpoints: bool = True

@@ -93,6 +93,13 @@ class Deployment:
     def __post_init__(self) -> None:
         self.backend = self.backend or signatures.default_backend()
         self.net = SimNetwork(latency=self.latency or constant_latency(0.1e-3))
+        # One verification cache for the whole deployment: replicas verify
+        # the same client-request and protocol signatures, so the real
+        # cryptography runs once per distinct triple (simulated CPU costs
+        # are still charged per replica).
+        self.verify_cache = (
+            signatures.SignatureVerifyCache() if self.params.verify_cache else None
+        )
         self.genesis_config, self.replica_keys, self.member_keys = make_genesis_config(
             self.n_replicas, self.backend, self.seed
         )
@@ -124,6 +131,7 @@ class Deployment:
                 backend=self.backend,
                 replica_directory=directory,
                 initial_state=self.initial_state,
+                verify_cache=self.verify_cache,
             )
             self.net.register(replica)
             self.replicas.append(replica)
@@ -223,6 +231,34 @@ class Deployment:
         self.net.register(client)
         self.clients.append(client)
         return client
+
+    # -- fault injection ---------------------------------------------------------------
+
+    def partition_replicas(
+        self,
+        isolated_ids: list[int],
+        start: float | None = None,
+        duration: float | None = None,
+    ) -> None:
+        """Cut the given replicas off from every other node (replicas and
+        clients), optionally starting at ``start`` and auto-healing after
+        ``duration`` — the WAN region-outage scenario.  Healing is a
+        scheduled simulation event; no manual intervention needed."""
+        isolated = {f"replica-{i}" for i in isolated_ids}
+        others = {r.address for r in self.replicas if r.address not in isolated}
+        others |= {c.address for c in self.clients}
+        self.net.partition_between(isolated, others, start=start, duration=duration)
+
+    def partition_region(
+        self,
+        region: str,
+        start: float | None = None,
+        duration: float | None = None,
+    ) -> None:
+        """Partition every replica sited in ``region`` away from the rest."""
+        isolated = [i for i, r in enumerate(self.replicas) if r.site == region]
+        if isolated:
+            self.partition_replicas(isolated, start=start, duration=duration)
 
     # -- running ----------------------------------------------------------------------
 

@@ -164,6 +164,7 @@ class LPBFTReplicaCore(Node):
         backend: signatures.SignatureBackend | None = None,
         replica_directory: dict[int, str] | None = None,
         initial_state: tuple[dict, int] | None = None,
+        verify_cache: signatures.SignatureVerifyCache | None = None,
     ) -> None:
         super().__init__(address=f"replica-{replica_id}", site=site)
         self.id = replica_id
@@ -173,6 +174,9 @@ class LPBFTReplicaCore(Node):
         self.metrics = metrics or MetricsCollector()
         self.behavior = behavior
         self.backend = backend or signatures.default_backend()
+        # Shared across the deployment's replicas: each (key, payload, sig)
+        # triple is cryptographically verified once per process.
+        self.verify_cache = verify_cache if params.verify_cache else None
         self.registry = registry
 
         # Service identity and replicated state.
@@ -284,7 +288,26 @@ class LPBFTReplicaCore(Node):
         # (§3.4 "Cryptography"), so the serial CPU is charged 1/cores.
         self.charge(self.costs.parallel(self.costs.verify))
         self.metrics.bump("signatures_verified")
+        if self.verify_cache is not None:
+            return self.verify_cache.verify(public_key, payload, signature, self.backend)
         return self.backend.verify(public_key, payload, signature)
+
+    def _verify_many(self, items: list[tuple[bytes, bytes, bytes]]) -> list[bool]:
+        """Batched :meth:`_verify` over (key, payload, sig) triples —
+        one call into the crypto layer for message sets that arrive
+        together (evidence bundles, view-change certificates)."""
+        if not items:
+            return []
+        if not self.params.use_signatures:
+            self.charge(len(items) * self.costs.mac)
+            return [True] * len(items)
+        self.charge(len(items) * self.costs.parallel(self.costs.verify))
+        self.metrics.bump("signatures_verified", len(items))
+        if not self.params.batch_verify:
+            if self.verify_cache is not None:
+                return [self.verify_cache.verify(pk, m, sig, self.backend) for pk, m, sig in items]
+            return [self.backend.verify(pk, m, sig) for pk, m, sig in items]
+        return signatures.verify_batch(items, self.backend, self.verify_cache)
 
     def _fresh_nonce(self) -> NonceCommitment:
         self._nonce_counter += 1
@@ -1255,13 +1278,21 @@ class LPBFTReplicaCore(Node):
             return
         config = self.config_for(seqno)
         primary_id = config.primary_for_view(record.view)
+        # The bundle's prepares arrive together — verify them as one batch.
+        candidates = [
+            prepare
+            for prepare in evidence.prepares()
+            if prepare.pp_digest == record.pp_digest and config.has_replica(prepare.replica)
+        ]
+        verdicts = self._verify_many(
+            [
+                (config.replica_key(p.replica), p.signed_payload(), p.signature)
+                for p in candidates
+            ]
+        )
         accepted: dict[int, Prepare] = {}
-        for prepare in evidence.prepares():
-            if prepare.pp_digest != record.pp_digest or not config.has_replica(prepare.replica):
-                continue
-            if not self._verify(
-                config.replica_key(prepare.replica), prepare.signed_payload(), prepare.signature
-            ):
+        for prepare, ok in zip(candidates, verdicts):
+            if not ok:
                 continue
             self._store_prepare(prepare)
             accepted[prepare.replica] = prepare

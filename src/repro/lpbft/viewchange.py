@@ -330,6 +330,10 @@ class ViewChangeMixin:
             return
         if not self._verify(config.replica_key(primary_id), nv.signed_payload(), nv.signature):
             return
+        # Verify the certificate sequentially with early exit: charging all
+        # signatures up front would inflate simulated CPU on the (Byzantine)
+        # invalid-certificate path relative to the pre-cache baseline.  The
+        # verify cache still applies per triple via _verify.
         vcs: dict[int, ViewChange] = {}
         for wire in vc_wires:
             vc = ViewChange.from_wire(wire)

@@ -7,6 +7,15 @@ leaf digest itself.  This shape has the property that appending never
 rewrites existing interior nodes, so an incremental "peak stack" gives
 O(log n) amortized appends, and rolling back (paper Lemma 1) is a simple
 truncation of the leaf sequence.
+
+Because interior nodes are immutable once created, the tree additionally
+memoizes them (``_nodes``) and keeps an append-only frontier of historical
+roots (``_roots``): :meth:`root` folds the peak stack once per size and
+caches the result, and :meth:`root_at` / :meth:`path` answer from the node
+cache instead of re-hashing whole subtrees.  Replicas call ``root()`` at
+every batch and auditors call ``root_at()`` for every batch boundary, so
+this turns the ledger's root maintenance from O(n) per query into
+amortized O(log n).
 """
 
 from __future__ import annotations
@@ -24,13 +33,19 @@ class MerkleTree:
     distinguished all-zero root.
     """
 
-    __slots__ = ("_leaves", "_peaks")
+    __slots__ = ("_leaves", "_peaks", "_nodes", "_roots")
 
     def __init__(self, leaves: list[Digest] | None = None) -> None:
         self._leaves: list[Digest] = []
         # Peaks: list of (height, digest) for complete subtrees, left to
         # right, strictly decreasing heights (binary-counter structure).
         self._peaks: list[tuple[int, Digest]] = []
+        # Memoized interior nodes: (lo, hi) -> digest of leaves[lo:hi].
+        # Append-only trees never invalidate a node below the current size.
+        self._nodes: dict[tuple[int, int], Digest] = {}
+        # Root frontier: _roots[size] (when present) is the root the tree
+        # had at ``size`` leaves.  Filled by root()/root_at() on demand.
+        self._roots: dict[int, Digest] = {}
         if leaves:
             for leaf in leaves:
                 self.append(leaf)
@@ -63,12 +78,17 @@ class MerkleTree:
             raise MerkleError(f"leaf must be a 32-byte digest, got {len(leaf)} bytes")
         index = len(self._leaves)
         self._leaves.append(leaf)
-        # Binary-counter merge: combine equal-height peaks.
+        # Binary-counter merge: combine equal-height peaks.  Merged peaks
+        # are complete power-of-two subtrees — exactly the interior nodes
+        # root_at/path need later, so record them in the node cache.
         self._peaks.append((0, leaf))
+        end = index + 1
         while len(self._peaks) >= 2 and self._peaks[-1][0] == self._peaks[-2][0]:
             height, right = self._peaks.pop()
             _, left = self._peaks.pop()
-            self._peaks.append((height + 1, digest_pair(left, right)))
+            merged = digest_pair(left, right)
+            self._peaks.append((height + 1, merged))
+            self._nodes[(end - (1 << (height + 1)), end)] = merged
         return index
 
     def extend(self, leaves: list[Digest]) -> None:
@@ -89,6 +109,10 @@ class MerkleTree:
         remaining = self._leaves[:size]
         self._leaves = []
         self._peaks = []
+        # Drop cached nodes and roots that reach past the new size; nodes
+        # fully inside the surviving prefix stay valid.
+        self._nodes = {span: d for span, d in self._nodes.items() if span[1] <= size}
+        self._roots = {s: r for s, r in self._roots.items() if s <= size}
         for leaf in remaining:
             self.append(leaf)
 
@@ -97,6 +121,8 @@ class MerkleTree:
         clone = MerkleTree()
         clone._leaves = list(self._leaves)
         clone._peaks = list(self._peaks)
+        clone._nodes = dict(self._nodes)
+        clone._roots = dict(self._roots)
         return clone
 
     # -- roots ---------------------------------------------------------
@@ -105,11 +131,16 @@ class MerkleTree:
         """The current root (all-zero digest for the empty tree)."""
         if not self._peaks:
             return EMPTY_DIGEST
+        size = len(self._leaves)
+        cached = self._roots.get(size)
+        if cached is not None:
+            return cached
         # Fold peaks right-to-left: matches the recursive
         # split-at-largest-power-of-two definition.
         acc = self._peaks[-1][1]
         for _, peak in reversed(self._peaks[:-1]):
             acc = digest_pair(peak, acc)
+        self._roots[size] = acc
         return acc
 
     def root_at(self, size: int) -> Digest:
@@ -118,7 +149,24 @@ class MerkleTree:
             raise MerkleError(f"size {size} out of range [0, {len(self._leaves)}]")
         if size == 0:
             return EMPTY_DIGEST
-        return _subtree_root(self._leaves, 0, size)
+        cached = self._roots.get(size)
+        if cached is not None:
+            return cached
+        root = self._node(0, size)
+        self._roots[size] = root
+        return root
+
+    def _node(self, lo: int, hi: int) -> Digest:
+        """Memoized digest of the subtree over ``leaves[lo:hi]``."""
+        if hi - lo == 1:
+            return self._leaves[lo]
+        cached = self._nodes.get((lo, hi))
+        if cached is not None:
+            return cached
+        k = _largest_power_of_two_below(hi - lo)
+        node = digest_pair(self._node(lo, lo + k), self._node(lo + k, hi))
+        self._nodes[(lo, hi)] = node
+        return node
 
     # -- proofs ----------------------------------------------------------
 
@@ -131,8 +179,21 @@ class MerkleTree:
         if not 0 <= index < size:
             raise MerkleError(f"leaf index {index} out of range [0, {size})")
         steps: list[PathStep] = []
-        _collect_path(self._leaves, 0, size, index, steps)
+        self._collect_path(0, size, index, steps)
         return MerklePath(leaf_index=index, tree_size=size, steps=tuple(steps))
+
+    def _collect_path(self, lo: int, hi: int, index: int, steps: list[PathStep]) -> None:
+        """Collect sibling digests from leaf to root (appended leaf-to-root),
+        reading interior nodes from the memo cache."""
+        if hi - lo == 1:
+            return
+        k = _largest_power_of_two_below(hi - lo)
+        if index < lo + k:
+            self._collect_path(lo, lo + k, index, steps)
+            steps.append(PathStep(sibling=self._node(lo + k, hi), sibling_on_left=False))
+        else:
+            self._collect_path(lo + k, hi, index, steps)
+            steps.append(PathStep(sibling=self._node(lo, lo + k), sibling_on_left=True))
 
 
 def _largest_power_of_two_below(n: int) -> int:
@@ -144,23 +205,12 @@ def _largest_power_of_two_below(n: int) -> int:
 
 
 def _subtree_root(leaves: list[Digest], lo: int, hi: int) -> Digest:
-    """Root of ``leaves[lo:hi]`` under the RFC 6962 split rule."""
+    """Root of ``leaves[lo:hi]`` under the RFC 6962 split rule.
+
+    Uncached reference implementation — kept for equivalence tests and
+    benchmarks against the memoized :meth:`MerkleTree._node` path."""
     n = hi - lo
     if n == 1:
         return leaves[lo]
     k = _largest_power_of_two_below(n)
     return digest_pair(_subtree_root(leaves, lo, lo + k), _subtree_root(leaves, lo + k, hi))
-
-
-def _collect_path(leaves: list[Digest], lo: int, hi: int, index: int, steps: list[PathStep]) -> None:
-    """Collect sibling digests from leaf to root (appended leaf-to-root)."""
-    n = hi - lo
-    if n == 1:
-        return
-    k = _largest_power_of_two_below(n)
-    if index < lo + k:
-        _collect_path(leaves, lo, lo + k, index, steps)
-        steps.append(PathStep(sibling=_subtree_root(leaves, lo + k, hi), sibling_on_left=False))
-    else:
-        _collect_path(leaves, lo + k, hi, index, steps)
-        steps.append(PathStep(sibling=_subtree_root(leaves, lo, lo + k), sibling_on_left=True))

@@ -12,7 +12,18 @@ authentication as a per-message cost).  The simulator provides:
 - fault injection: drops, partitions, and per-link delay overrides.
 """
 
-from .latency import LatencyModel, constant_latency, lan_latency, wan_latency, REGIONS_WAN
+from .latency import (
+    LatencyModel,
+    constant_latency,
+    lan_latency,
+    wan_latency,
+    global_wan,
+    latency_matrix,
+    regions_matrix,
+    with_asymmetry,
+    REGIONS_WAN,
+    REGIONS_GLOBAL,
+)
 from .simnet import SimNetwork, Node
 
 __all__ = [
@@ -20,7 +31,12 @@ __all__ = [
     "constant_latency",
     "lan_latency",
     "wan_latency",
+    "global_wan",
+    "latency_matrix",
+    "regions_matrix",
+    "with_asymmetry",
     "REGIONS_WAN",
+    "REGIONS_GLOBAL",
     "SimNetwork",
     "Node",
 ]

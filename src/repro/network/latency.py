@@ -75,3 +75,118 @@ def cluster_latency() -> LatencyModel:
 def wan_latency() -> LatencyModel:
     """Azure WAN across three US regions, 7 Gbps."""
     return LatencyModel(name="azure-wan", bandwidth_bps=7e9, delays=dict(_WAN_ONE_WAY), default_delay=0.25e-3)
+
+
+# -- pluggable WAN topologies -------------------------------------------------
+
+REGIONS_GLOBAL = ("us-east", "eu-west", "ap-southeast", "sa-east", "us-west-2")
+
+# One-way delays in ms between the global regions (rough great-circle
+# figures; intra-region handled by default_delay).
+_GLOBAL_ONE_WAY_MS = {
+    ("us-east", "eu-west"): 38.0,
+    ("us-east", "ap-southeast"): 105.0,
+    ("us-east", "sa-east"): 60.0,
+    ("us-east", "us-west-2"): 32.5,
+    ("eu-west", "ap-southeast"): 85.0,
+    ("eu-west", "sa-east"): 92.0,
+    ("eu-west", "us-west-2"): 65.0,
+    ("ap-southeast", "sa-east"): 160.0,
+    ("ap-southeast", "us-west-2"): 85.0,
+    ("sa-east", "us-west-2"): 90.0,
+}
+
+
+def latency_matrix(
+    name: str,
+    delays_ms: dict[tuple[str, str], float],
+    bandwidth_bps: float = 7e9,
+    default_delay_ms: float = 0.25,
+    symmetric: bool = True,
+) -> LatencyModel:
+    """Build a :class:`LatencyModel` from a one-way delay matrix in ms.
+
+    ``delays_ms`` maps ``(src_site, dst_site)`` to one-way milliseconds.
+    With ``symmetric=False`` only the listed directions are overridden —
+    list both directions of a pair to model asymmetric links (satellite
+    uplinks, congested return paths); unlisted directions fall back to
+    ``default_delay_ms``."""
+    delays = {pair: ms * 1e-3 for pair, ms in delays_ms.items()}
+    if not symmetric:
+        # LatencyModel.one_way falls back to the reversed key; pin every
+        # unlisted reverse direction to the default so asymmetry sticks.
+        for (a, b) in list(delays):
+            if (b, a) not in delays:
+                delays[(b, a)] = default_delay_ms * 1e-3
+    return LatencyModel(
+        name=name,
+        bandwidth_bps=bandwidth_bps,
+        delays=delays,
+        default_delay=default_delay_ms * 1e-3,
+    )
+
+
+def regions_matrix(
+    name: str,
+    regions: tuple[str, ...],
+    one_way_ms: list[list[float]],
+    bandwidth_bps: float = 7e9,
+    default_delay_ms: float = 0.25,
+) -> LatencyModel:
+    """Build a model from a square one-way delay matrix over ``regions``
+    (``one_way_ms[i][j]`` = src ``regions[i]`` → dst ``regions[j]``, in ms).
+    Rows need not be symmetric, so asymmetric links are expressible.
+    Zero entries mean "unspecified" everywhere: a zero cell falls back to
+    the reverse direction (off-diagonal) and then ``default_delay_ms``,
+    so filling only the upper triangle yields a symmetric model."""
+    if len(one_way_ms) != len(regions) or any(len(row) != len(regions) for row in one_way_ms):
+        raise ValueError(f"one_way_ms must be a {len(regions)}x{len(regions)} matrix")
+    delays = {
+        (regions[i], regions[j]): one_way_ms[i][j] * 1e-3
+        for i in range(len(regions))
+        for j in range(len(regions))
+        if one_way_ms[i][j] > 0
+    }
+    return LatencyModel(
+        name=name, bandwidth_bps=bandwidth_bps, delays=delays, default_delay=default_delay_ms * 1e-3
+    )
+
+
+def global_wan() -> LatencyModel:
+    """A five-region intercontinental WAN (``REGIONS_GLOBAL``), 5 Gbps."""
+    return latency_matrix("global-wan", _GLOBAL_ONE_WAY_MS, bandwidth_bps=5e9)
+
+
+def with_asymmetry(model: LatencyModel, factor: float, name: str | None = None) -> LatencyModel:
+    """Skew a symmetric model: each cross-site pair's forward direction
+    (the lexicographically smaller ``(src, dst)`` key) gets ``delay *
+    factor`` and the reverse ``delay / factor``, modeling links whose two
+    directions are routed differently."""
+    if factor <= 0:
+        raise ValueError(f"asymmetry factor must be positive, got {factor}")
+    if not any(a != b for a, b in model.delays):
+        raise ValueError(
+            f"model {model.name!r} has no per-pair delays to skew — build it with "
+            "latency_matrix()/regions_matrix() first (default_delay-only models "
+            "would silently stay symmetric)"
+        )
+    for (a, b), delay in model.delays.items():
+        if a != b and model.delays.get((b, a), delay) != delay:
+            raise ValueError(
+                f"model {model.name!r} is already asymmetric on ({a!r}, {b!r}); "
+                "with_asymmetry only skews symmetric models"
+            )
+    delays: dict = {}
+    for (a, b), delay in model.delays.items():
+        if a == b:
+            delays[(a, b)] = delay
+            continue
+        forward, reverse = (a, b) if a < b else (b, a), (b, a) if a < b else (a, b)
+        delays.setdefault(forward, delay * factor)
+        delays.setdefault(reverse, delay / factor)
+    return LatencyModel(
+        name=name or f"{model.name}-asym{factor:g}",
+        bandwidth_bps=model.bandwidth_bps,
+        delays=delays,
+        default_delay=model.default_delay,
+    )

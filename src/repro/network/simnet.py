@@ -103,11 +103,13 @@ class SimNetwork:
         self.scheduler = scheduler or EventScheduler()
         self.latency = latency or constant_latency(0.1e-3)
         self._nodes: dict[str, Node] = {}
-        self._partitions: list[set[str]] = []
+        self._partitions: dict[int, tuple[frozenset[str], frozenset[str]]] = {}
+        self._partition_counter = 0
         self._drop_rules: list[Callable[[str, str, Any], bool]] = []
         self._size_of = size_of or _default_size_of
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_dropped = 0
 
     # -- topology -------------------------------------------------------------
 
@@ -134,13 +136,56 @@ class SimNetwork:
 
     # -- fault injection ---------------------------------------------------------
 
-    def partition(self, group_a: set[str], group_b: set[str]) -> None:
-        """Drop all traffic between the two groups until healed."""
-        self._partitions.append(set(group_a))
-        self._partitions.append(set(group_b))
+    def partition(self, group_a: set[str], group_b: set[str]) -> int:
+        """Drop all traffic between the two groups until healed.  Returns
+        a partition id usable with :meth:`heal`."""
+        self._partition_counter += 1
+        self._partitions[self._partition_counter] = (frozenset(group_a), frozenset(group_b))
+        return self._partition_counter
+
+    def heal(self, partition_id: int | None = None) -> None:
+        """Heal one partition by id, or all of them when id is None."""
+        if partition_id is None:
+            self._partitions.clear()
+        else:
+            self._partitions.pop(partition_id, None)
 
     def heal_partitions(self) -> None:
-        self._partitions.clear()
+        self.heal()
+
+    def partition_between(
+        self,
+        group_a: set[str],
+        group_b: set[str],
+        start: float | None = None,
+        duration: float | None = None,
+    ) -> None:
+        """Schedule a partition as simulation events: applied at ``start``
+        (default: now) and — when ``duration`` is given — healed
+        ``duration`` seconds later, with no manual intervention.  This is
+        the WAN-scenario building block: region cuts, transient link
+        failures, rolling outages are all timed partitions."""
+        start = self.scheduler.now if start is None else start
+        if duration is not None and start + duration <= self.scheduler.now:
+            return  # the whole window [start, start+duration) already elapsed
+
+        def apply() -> None:
+            partition_id = self.partition(group_a, group_b)
+            if duration is not None:
+                # Heal at the absolute end of the window, so a start in
+                # the past does not stretch the partition.
+                self.scheduler.at(start + duration, lambda: self.heal(partition_id))
+
+        if start <= self.scheduler.now:
+            apply()
+        else:
+            self.scheduler.at(start, apply)
+
+    def isolate(self, address: str, start: float | None = None, duration: float | None = None) -> None:
+        """Cut one node off from every currently-registered node (a crash
+        that keeps local state), optionally healing after ``duration``."""
+        others = {a for a in self._nodes if a != address}
+        self.partition_between({address}, others, start=start, duration=duration)
 
     def add_drop_rule(self, rule: Callable[[str, str, Any], bool]) -> None:
         """Drop messages for which ``rule(src, dst, msg)`` is True."""
@@ -150,11 +195,9 @@ class SimNetwork:
         self._drop_rules.clear()
 
     def _blocked(self, src: str, dst: str) -> bool:
-        if len(self._partitions) >= 2:
-            for i in range(0, len(self._partitions) - 1, 2):
-                a, b = self._partitions[i], self._partitions[i + 1]
-                if (src in a and dst in b) or (src in b and dst in a):
-                    return True
+        for a, b in self._partitions.values():
+            if (src in a and dst in b) or (src in b and dst in a):
+                return True
         return False
 
     # -- transmission ---------------------------------------------------------------
@@ -164,9 +207,11 @@ class SimNetwork:
         if dst not in self._nodes:
             raise NetworkError(f"unknown destination {dst!r}")
         if self._blocked(src, dst):
+            self.messages_dropped += 1
             return
         for rule in self._drop_rules:
             if rule(src, dst, msg):
+                self.messages_dropped += 1
                 return
         size = self._size_of(msg) if size is None else size
         self.messages_sent += 1

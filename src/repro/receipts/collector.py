@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..crypto import signatures
 from ..crypto.hashing import Digest
 from ..errors import ReceiptError
 from ..governance.configuration import Configuration
@@ -93,10 +94,15 @@ class ReceiptCollector:
     reaches a quorum together with its ``replyx``).
     """
 
-    def __init__(self, config: Configuration, verify: bool = True, backend=None) -> None:
+    def __init__(
+        self, config: Configuration, verify: bool = True, backend=None, use_cache: bool = True
+    ) -> None:
         self._config = config
         self._verify = verify
         self._backend = backend
+        # Receipts of the same batch share signatures; memoize checks
+        # (``use_cache=False`` restores the uncached A/B baseline).
+        self._cache = signatures.SignatureVerifyCache() if use_cache else None
         self._pending: dict[Digest, PendingRequest] = {}
         self._done: dict[Digest, Receipt] = {}
         self._sent_times: dict[Digest, float] = {}
@@ -163,7 +169,7 @@ class ReceiptCollector:
         if replyx is None or len(replies) < self._config.quorum or primary_id not in replies:
             return None
         receipt = assemble_receipt(pending.request_wire, replies, replyx, self._config)
-        if self._verify and not verify_receipt(receipt, self._config, self._backend):
+        if self._verify and not verify_receipt(receipt, self._config, self._backend, cache=self._cache):
             # Some reply carries invalid evidence.  With more than a quorum
             # of replies, retry quorum-sized subsets (primary always
             # included) — a correct quorum yields a verifiable receipt.
@@ -183,6 +189,6 @@ class ReceiptCollector:
             if len(subset) < self._config.quorum:
                 continue
             candidate = assemble_receipt(pending.request_wire, subset, replyx, self._config)
-            if verify_receipt(candidate, self._config, self._backend):
+            if verify_receipt(candidate, self._config, self._backend, cache=self._cache):
                 return candidate
         return None

@@ -213,13 +213,17 @@ def verify_receipt(
     receipt: Receipt,
     config: Configuration,
     backend: signatures.SignatureBackend | None = None,
+    cache: signatures.SignatureVerifyCache | None = None,
 ) -> bool:
     """Alg. 3: verify a receipt against the configuration that produced it.
 
     Returns ``False`` for receipts that fail any check; raises
-    :class:`ReceiptError` only for structurally malformed inputs.
+    :class:`ReceiptError` only for structurally malformed inputs.  With a
+    ``cache``, signature checks are memoized — auditors verifying many
+    receipts from the same batches redo no cryptography.
     """
     backend = backend or signatures.default_backend()
+    check = (lambda pk, m, s: cache.verify(pk, m, s, backend)) if cache is not None else backend.verify
     try:
         pp = receipt.reconstructed_pre_prepare()
     except ReceiptError:
@@ -241,7 +245,7 @@ def verify_receipt(
         primary_key = config.replica_key(primary_id)
     except Exception:
         return False
-    if not backend.verify(primary_key, pp.signed_payload(), receipt.primary_signature):
+    if not check(primary_key, pp.signed_payload(), receipt.primary_signature):
         return False
 
     pp_digest = pp.digest()
@@ -261,7 +265,7 @@ def verify_receipt(
             return False
         signature = receipt.prepare_signatures[sig_cursor]
         sig_cursor += 1
-        if not backend.verify(key, prepare.signed_payload(), signature):
+        if not check(key, prepare.signed_payload(), signature):
             return False
     return True
 

@@ -1,19 +1,38 @@
-"""Event scheduler: a deterministic priority queue of timed callbacks.
+"""Event scheduler: a deterministic heap-based discrete-event engine.
 
-Ties are broken by insertion order, so runs are reproducible given the
-same seed and inputs.  Entities schedule events with :meth:`at` (absolute)
-or :meth:`after` (relative) and may cancel them; :meth:`run` drains events
+Events are ``(time, seq)``-ordered on a binary heap over a virtual clock;
+ties are broken by insertion order, so runs are reproducible given the
+same seed and inputs.  Entities schedule callbacks with :meth:`at`
+(absolute), :meth:`after` (relative), or :meth:`every` (repeating), and
+may cancel them by id; cancellation is O(1) via tombstones on the heap
+entries (lazy deletion), so timer churn — every message arms/disarms view
+change timers — never pays for heap surgery.  :meth:`run` drains events
 until a time horizon, an event budget, or an empty queue.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable
 
 from ..errors import SimulationError
 from .clock import VirtualClock
+
+
+class _Event:
+    """One scheduled callback (heap entry)."""
+
+    __slots__ = ("time", "seq", "callback", "interval", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], interval: float | None) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.interval = interval  # None for one-shot events
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
 
 
 class EventScheduler:
@@ -21,10 +40,12 @@ class EventScheduler:
 
     def __init__(self, clock: VirtualClock | None = None) -> None:
         self.clock = clock or VirtualClock()
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
-        self._counter = itertools.count()
-        self._cancelled: set[int] = set()
+        self._queue: list[_Event] = []
+        self._live: dict[int, _Event] = {}  # id -> event, for O(1) cancel
+        self._next_seq = 0
         self._events_processed = 0
+        self._cancel_count = 0
+        self._repeat_live = 0  # live repeating events (they never drain)
 
     @property
     def now(self) -> float:
@@ -32,58 +53,110 @@ class EventScheduler:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (possibly cancelled) events."""
+        """Number of scheduled (possibly cancelled) heap entries."""
         return len(self._queue)
+
+    @property
+    def pending_active(self) -> int:
+        """Number of scheduled events that have not been cancelled."""
+        return len(self._queue) - self._cancel_count
 
     @property
     def events_processed(self) -> int:
         return self._events_processed
 
+    def _schedule(self, t: float, callback: Callable[[], None], interval: float | None) -> int:
+        if t < self.clock.now:
+            raise SimulationError(f"cannot schedule in the past ({t} < {self.clock.now})")
+        event = _Event(t, self._next_seq, callback, interval)
+        self._next_seq += 1
+        heapq.heappush(self._queue, event)
+        self._live[event.seq] = event
+        return event.seq
+
     def at(self, t: float, callback: Callable[[], None]) -> int:
         """Schedule ``callback`` at absolute time ``t``; returns an id
         usable with :meth:`cancel`."""
-        if t < self.clock.now:
-            raise SimulationError(f"cannot schedule in the past ({t} < {self.clock.now})")
-        event_id = next(self._counter)
-        heapq.heappush(self._queue, (t, event_id, callback))
-        return event_id
+        return self._schedule(t, callback, None)
 
     def after(self, delay: float, callback: Callable[[], None]) -> int:
         """Schedule ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.at(self.clock.now + delay, callback)
+        return self._schedule(self.clock.now + delay, callback, None)
+
+    def every(self, interval: float, callback: Callable[[], None], start: float | None = None) -> int:
+        """Schedule ``callback`` repeatedly, ``interval`` seconds apart,
+        first at ``start`` (default: one interval from now).  The returned
+        id cancels all future firings."""
+        if interval <= 0:
+            raise SimulationError(f"repeat interval must be positive, got {interval}")
+        first = self.clock.now + interval if start is None else start
+        event_id = self._schedule(first, callback, interval)
+        self._repeat_live += 1  # only after _schedule() can no longer raise
+        return event_id
 
     def cancel(self, event_id: int) -> None:
-        """Cancel a scheduled event (no-op if already fired)."""
-        self._cancelled.add(event_id)
+        """Cancel a scheduled event (no-op if already fired or unknown)."""
+        event = self._live.pop(event_id, None)
+        if event is not None and not event.cancelled:
+            event.cancelled = True
+            self._cancel_count += 1
+            if event.interval is not None:
+                self._repeat_live -= 1
+
+    def peek_time(self) -> float | None:
+        """The virtual time of the next live event (None when idle)."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+            self._cancel_count -= 1
+        return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""
         while self._queue:
-            t, event_id, callback = heapq.heappop(self._queue)
-            if event_id in self._cancelled:
-                self._cancelled.discard(event_id)
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                self._cancel_count -= 1
                 continue
-            self.clock.advance_to(t)
+            self.clock.advance_to(event.time)
             self._events_processed += 1
-            callback()
+            if event.interval is not None:
+                # Re-arm before the callback so the callback can cancel it.
+                event.time += event.interval
+                heapq.heappush(self._queue, event)
+            else:
+                self._live.pop(event.seq, None)
+            event.callback()
             return True
         return False
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Drain events until the queue empties, virtual time would pass
-        ``until``, or ``max_events`` have run."""
+        ``until``, or ``max_events`` have run.
+
+        Repeating events never drain, so once they are the only live
+        events an unbounded run would spin forever; that case raises
+        :class:`SimulationError` — pass ``until`` or ``max_events`` when
+        repeating timers are armed."""
         count = 0
-        while self._queue:
+        while True:
             if max_events is not None and count >= max_events:
                 return
-            t, event_id, _ = self._queue[0]
-            if event_id in self._cancelled:
-                heapq.heappop(self._queue)
-                self._cancelled.discard(event_id)
-                continue
-            if until is not None and t > until:
+            if (
+                until is None
+                and max_events is None
+                and self._repeat_live > 0
+                and self._repeat_live == self.pending_active
+            ):
+                raise SimulationError(
+                    "run() without until/max_events would never terminate: "
+                    "only repeating events remain"
+                )
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
                 self.clock.advance_to(until)
                 return
             self.step()

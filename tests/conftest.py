@@ -1,59 +1,17 @@
-"""Shared fixtures: a small, fast SmallBank deployment factory."""
+"""Shared fixtures: a small, fast SmallBank deployment factory.
+
+The plain helpers live in :mod:`helpers` (``tests/helpers.py``); this
+conftest only defines fixtures on top of them, so nothing here needs to be
+imported by test modules directly.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.lpbft import Deployment, ProtocolParams
-from repro.workloads import SmallBankWorkload, initial_state, register_smallbank
+from helpers import FAST_PARAMS, build_deployment, run_waves, run_workload
 
-FAST_PARAMS = ProtocolParams(
-    pipeline=2,
-    max_batch=20,
-    checkpoint_interval=10,
-    batch_delay=0.0005,
-    view_change_timeout=2.0,
-)
-
-
-def build_deployment(
-    n_replicas: int = 4,
-    params: ProtocolParams = FAST_PARAMS,
-    behaviors: dict | None = None,
-    accounts: int = 200,
-    spare_replicas: int = 0,
-    seed: bytes = b"test",
-):
-    """A small SmallBank deployment ready to start."""
-    return Deployment(
-        n_replicas=n_replicas,
-        params=params,
-        registry_setup=register_smallbank,
-        initial_state=initial_state(accounts),
-        behaviors=behaviors or {},
-        spare_replicas=spare_replicas,
-        seed=seed,
-    )
-
-
-def run_workload(dep, client, n_tx: int = 40, until: float = 5.0, seed: int = 7, accounts: int = 200):
-    """Submit ``n_tx`` SmallBank transactions and run the network."""
-    wl = SmallBankWorkload(n_accounts=accounts, seed=seed)
-    digests = [client.submit(*wl.next_transaction(), min_index=0) for _ in range(n_tx)]
-    dep.run(until=until)
-    return digests
-
-
-def run_waves(dep, client, waves=4, per_wave=25, gap=0.3, seed=7, accounts=200):
-    """Submit transactions in spaced waves so multiple batches (and
-    checkpoints) form instead of one giant batch."""
-    wl = SmallBankWorkload(n_accounts=accounts, seed=seed)
-    digests = []
-    for w in range(waves):
-        digests += [client.submit(*wl.next_transaction(), min_index=0) for _ in range(per_wave)]
-        dep.run(until=dep.net.scheduler.now + gap)
-    dep.run(until=dep.net.scheduler.now + 2.0)
-    return digests
+__all__ = ["FAST_PARAMS", "build_deployment", "run_waves", "run_workload"]
 
 
 @pytest.fixture

@@ -26,7 +26,7 @@ from repro.enforcement import make_enforcer
 from repro.errors import AuditError
 from repro.receipts import GovernanceChain, GovernanceLink, find_chain_fork
 
-from conftest import FAST_PARAMS, build_deployment, run_workload
+from helpers import FAST_PARAMS, build_deployment, run_workload
 
 
 def fresh_run(behaviors=None, seed=b"audit", n_tx=40):

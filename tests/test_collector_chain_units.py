@@ -14,7 +14,7 @@ from repro.receipts import (
     verify_chain,
 )
 
-from conftest import build_deployment, run_workload
+from helpers import build_deployment, run_workload
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,7 @@ import pytest
 from repro.lpbft import ProtocolParams, designated_replica
 from repro.receipts import verify_receipt
 
-from conftest import FAST_PARAMS, build_deployment, run_workload
+from helpers import FAST_PARAMS, build_deployment, run_workload
 
 
 class TestCommitFlow:

@@ -7,7 +7,7 @@ from repro.lpbft.messages import BATCH_CHECKPOINT, BATCH_END_OF_CONFIG, BATCH_ST
 from repro.receipts import verify_chain, verify_receipt
 from repro.workloads import SmallBankWorkload
 
-from conftest import build_deployment
+from helpers import build_deployment
 
 RECONF_PARAMS = ProtocolParams(
     pipeline=2, max_batch=20, checkpoint_interval=30,

@@ -177,3 +177,64 @@ def test_property_root_at_consistent_with_append_history(n):
         roots.append(tree.root())
     for size, expected in enumerate(roots):
         assert tree.root_at(size) == expected
+
+
+# -- incremental vs recomputed (seeded, deterministic) -----------------------
+
+
+def test_incremental_root_matches_reference_recompute():
+    """The memoized node cache must agree with the uncached reference
+    implementation at every size of a randomized append sequence."""
+    import random
+
+    from repro.merkle.tree import _subtree_root
+
+    rng = random.Random(1234)
+    ls = [digest(rng.randbytes(24)) for _ in range(200)]
+    tree = MerkleTree()
+    for leaf in ls:
+        tree.append(leaf)
+    for size in [1, 2, 3, 5, 17, 63, 64, 65, 128, 199, 200]:
+        assert tree.root_at(size) == _subtree_root(ls, 0, size)
+
+
+def test_randomized_append_truncate_sequences_deterministic():
+    """Random interleavings of append/truncate/root_at/path stay
+    equivalent to a freshly-built (cache-cold) tree.  Seeded so failures
+    reproduce."""
+    import random
+
+    rng = random.Random(20260729)
+    for _ in range(15):
+        tree = MerkleTree()
+        reference: list = []
+        for _step in range(60):
+            op = rng.random()
+            if op < 0.6 or not reference:
+                leaf = digest(rng.randbytes(16))
+                tree.append(leaf)
+                reference.append(leaf)
+            elif op < 0.75:
+                size = rng.randint(0, len(reference))
+                tree.truncate(size)
+                del reference[size:]
+            elif op < 0.9 and reference:
+                size = rng.randint(0, len(reference))
+                assert tree.root_at(size) == MerkleTree(reference[:size]).root()
+            elif reference:
+                index = rng.randint(0, len(reference) - 1)
+                path = tree.path(index)
+                assert verify_path(reference[index], path, tree.root())
+        assert tree.root() == MerkleTree(reference).root()
+        assert tree.leaves() == reference
+
+
+def test_copy_shares_no_mutable_state():
+    ls = leaves(9, tag=b"copy")
+    tree = MerkleTree(ls)
+    clone = tree.copy()
+    clone.append(digest(b"extra"))
+    assert len(tree) == 9 and len(clone) == 10
+    assert tree.root() == MerkleTree(ls).root()
+    clone.truncate(4)
+    assert tree.root_at(9) == MerkleTree(ls).root()

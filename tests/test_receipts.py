@@ -7,7 +7,7 @@ import pytest
 from repro.receipts import Receipt, verify_receipt, receipts_equivalent
 from repro.errors import ReceiptError
 
-from conftest import build_deployment, run_workload
+from helpers import build_deployment, run_workload
 
 
 @pytest.fixture(scope="module")

@@ -226,3 +226,317 @@ class TestLatencyModels:
 
     def test_cluster_faster_than_lan(self):
         assert cluster_latency().one_way("a", "a") < lan_latency().one_way("a", "a")
+
+
+class TestSchedulerEngine:
+    """Heap-engine features added by the hot-path overhaul."""
+
+    def test_peek_time_skips_cancelled(self):
+        sched = EventScheduler()
+        eid = sched.at(1.0, lambda: None)
+        sched.at(2.0, lambda: None)
+        sched.cancel(eid)
+        assert sched.peek_time() == 2.0
+
+    def test_pending_active_tracks_cancellations(self):
+        sched = EventScheduler()
+        ids = [sched.at(1.0 + i, lambda: None) for i in range(5)]
+        for eid in ids[:3]:
+            sched.cancel(eid)
+        assert sched.pending_active == 2
+
+    def test_cancel_unknown_id_is_noop(self):
+        sched = EventScheduler()
+        sched.cancel(12345)
+        sched.at(1.0, lambda: None)
+        sched.run()
+        assert sched.events_processed == 1
+
+    def test_every_repeats_until_cancelled(self):
+        sched = EventScheduler()
+        fired = []
+        eid = sched.every(1.0, lambda: fired.append(sched.now))
+        sched.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+        sched.cancel(eid)
+        sched.run(until=6.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_every_with_start(self):
+        sched = EventScheduler()
+        fired = []
+        sched.every(2.0, lambda: fired.append(sched.now), start=0.5)
+        sched.run(until=5.0)
+        assert fired == [0.5, 2.5, 4.5]
+
+    def test_repeating_callback_can_cancel_itself(self):
+        sched = EventScheduler()
+        fired = []
+        def cb():
+            fired.append(sched.now)
+            if len(fired) == 2:
+                sched.cancel(eid)
+        eid = sched.every(1.0, cb)
+        sched.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_bad_interval_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(SimulationError):
+            sched.every(0.0, lambda: None)
+
+
+class TestWanTopologies:
+    def test_latency_matrix_builder(self):
+        from repro.network import latency_matrix
+
+        model = latency_matrix("m", {("a", "b"): 10.0}, default_delay_ms=0.5)
+        assert model.one_way("a", "b") == pytest.approx(10e-3)
+        assert model.one_way("b", "a") == pytest.approx(10e-3)  # symmetric
+        assert model.one_way("a", "a") == pytest.approx(0.5e-3)
+
+    def test_latency_matrix_asymmetric(self):
+        from repro.network import latency_matrix
+
+        model = latency_matrix(
+            "asym", {("a", "b"): 30.0}, default_delay_ms=1.0, symmetric=False
+        )
+        assert model.one_way("a", "b") == pytest.approx(30e-3)
+        assert model.one_way("b", "a") == pytest.approx(1e-3)
+
+    def test_regions_matrix_builder(self):
+        from repro.network import regions_matrix
+
+        model = regions_matrix("r", ("x", "y"), [[0.0, 5.0], [7.0, 0.0]])
+        assert model.one_way("x", "y") == pytest.approx(5e-3)
+        assert model.one_way("y", "x") == pytest.approx(7e-3)
+
+    def test_regions_matrix_shape_checked(self):
+        from repro.network import regions_matrix
+
+        with pytest.raises(ValueError):
+            regions_matrix("bad", ("x", "y"), [[0.0, 5.0]])
+
+    def test_with_asymmetry_preserves_rtt(self):
+        from repro.network import with_asymmetry
+
+        base = wan_latency()
+        skewed = with_asymmetry(base, 2.0)
+        a, b = REGIONS_WAN[0], REGIONS_WAN[1]
+        rtt_base = base.one_way(a, b) + base.one_way(b, a)
+        rtt_skew = skewed.one_way(a, b) + skewed.one_way(b, a)
+        assert skewed.one_way(a, b) != skewed.one_way(b, a)
+        # factor + 1/factor on equal halves: RTT grows by (2 + 0.5) / 2.
+        assert rtt_skew == pytest.approx(rtt_base * 1.25)
+
+    def test_global_wan_five_regions(self):
+        from repro.network import REGIONS_GLOBAL, global_wan
+
+        model = global_wan()
+        for src in REGIONS_GLOBAL:
+            for dst in REGIONS_GLOBAL:
+                if src != dst:
+                    assert model.one_way(src, dst) > model.one_way(src, src)
+
+
+class TestScheduledPartitions:
+    def _pair(self, net):
+        a, b = Echo("a"), Echo("b")
+        net.register(a)
+        net.register(b)
+        return a, b
+
+    def test_partition_ids_heal_selectively(self):
+        net = SimNetwork()
+        a, b = self._pair(net)
+        c = Echo("c")
+        net.register(c)
+        p1 = net.partition({"a"}, {"b"})
+        p2 = net.partition({"a"}, {"c"})
+        net.heal(p1)
+        a.send("b", "x")
+        a.send("c", "y")
+        net.run()
+        assert [m for _, m, _ in b.received] == ["x"]
+        assert c.received == []
+        net.heal(p2)
+        a.send("c", "y2")
+        net.run()
+        assert [m for _, m, _ in c.received] == ["y2"]
+
+    def test_partition_between_applies_and_heals_on_schedule(self):
+        net = SimNetwork(latency=constant_latency(0.001))
+        a, b = self._pair(net)
+        net.partition_between({"a"}, {"b"}, start=1.0, duration=2.0)
+        # Before the partition starts: delivered.
+        a.send("b", "before")
+        net.run(until=0.5)
+        # During [1.0, 3.0): dropped.
+        net.scheduler.at(1.5, lambda: a.send("b", "during"))
+        # After auto-heal: delivered, no manual intervention.
+        net.scheduler.at(3.5, lambda: a.send("b", "after"))
+        net.run(until=5.0)
+        assert [m for _, m, _ in b.received if m != "pong"] == ["before", "after"]
+        assert net.messages_dropped == 1
+
+    def test_isolate_cuts_node_both_ways(self):
+        net = SimNetwork()
+        a, b = self._pair(net)
+        net.isolate("a", duration=1.0)
+        a.send("b", "x")
+        b.send("a", "y")
+        net.run(until=0.5)
+        assert b.received == [] and a.received == []
+        net.scheduler.at(1.5, lambda: a.send("b", "late"))
+        net.run(until=2.0)
+        assert [m for _, m, _ in b.received] == ["late"]
+
+    def test_drop_rule_counts_drops(self):
+        net = SimNetwork()
+        a, b = self._pair(net)
+        net.add_drop_rule(lambda src, dst, msg: True)
+        a.send("b", "x")
+        net.run()
+        assert net.messages_dropped == 1
+
+
+class TestThreeRegionScenario:
+    def test_three_region_matrix_run_completes(self):
+        """A SmallBank deployment over a 3-region latency matrix commits
+        transactions end to end."""
+        from repro.bench import wan_sites
+        from repro.lpbft import ProtocolParams
+        from repro.workloads import SmallBankWorkload
+
+        from helpers import build_deployment
+
+        params = ProtocolParams(
+            pipeline=2, max_batch=20, checkpoint_interval=50,
+            batch_delay=0.001, view_change_timeout=10.0,
+        )
+        dep = build_deployment(params=params, latency=wan_latency(), sites=wan_sites(4))
+        client = dep.add_client(site=REGIONS_WAN[0], retry_timeout=2.0)
+        dep.start()
+        wl = SmallBankWorkload(n_accounts=200, seed=3)
+        digests = [client.submit(*wl.next_transaction(), min_index=0) for _ in range(25)]
+        dep.run(until=8.0)
+        assert dep.committed_seqnos()[0] >= 1
+        assert dep.ledgers_agree()
+        assert len(client.receipts) == len(digests)
+        # Commit latency reflects cross-region round trips, not LAN speeds.
+        assert client.metrics.latency.mean() > 10e-3
+
+
+class TestReviewRegressions:
+    """Fixes from the PR 1 review pass."""
+
+    def test_unbounded_run_with_only_repeating_events_raises(self):
+        sched = EventScheduler()
+        sched.every(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sched.run()  # no until/max_events: would never terminate
+
+    def test_unbounded_run_ok_after_repeat_cancelled(self):
+        sched = EventScheduler()
+        eid = sched.every(1.0, lambda: None)
+        sched.cancel(eid)
+        sched.at(0.5, lambda: None)
+        sched.run()
+        assert sched.events_processed == 1
+
+    def test_bounded_run_with_repeating_events_ok(self):
+        sched = EventScheduler()
+        fired = []
+        sched.every(1.0, lambda: fired.append(sched.now))
+        sched.run(max_events=2)
+        assert fired == [1.0, 2.0]
+
+    def test_with_asymmetry_rejects_default_only_models(self):
+        from repro.network import with_asymmetry
+
+        with pytest.raises(ValueError):
+            with_asymmetry(lan_latency(), 2.0)
+        with pytest.raises(ValueError):
+            with_asymmetry(constant_latency(0.001), 2.0)
+
+    def test_regions_matrix_honors_nonzero_diagonal(self):
+        from repro.network import regions_matrix
+
+        model = regions_matrix("diag", ("x", "y"), [[5.0, 10.0], [10.0, 0.0]])
+        assert model.one_way("x", "x") == pytest.approx(5e-3)   # diagonal honored
+        assert model.one_way("y", "y") == pytest.approx(0.25e-3)  # zero -> default
+
+    def test_verify_cache_keys_separate_message_lengths(self):
+        import hashlib
+
+        from repro.crypto.signatures import SignatureVerifyCache
+
+        from types import SimpleNamespace
+
+        backend = SimpleNamespace(name="b")
+        long_msg = b"z" * 100
+        short_msg = hashlib.sha256(long_msg).digest()  # same bytes the key collapses to
+        k_long = SignatureVerifyCache._key(backend, b"pk", long_msg, b"sig")
+        k_short = SignatureVerifyCache._key(backend, b"pk", short_msg, b"sig")
+        assert k_long != k_short
+
+
+class TestReviewRegressionsRound2:
+    def test_with_asymmetry_rejects_already_asymmetric_model(self):
+        from repro.network import regions_matrix, with_asymmetry
+
+        model = regions_matrix("r", ("x", "y"), [[0.0, 10.0], [50.0, 0.0]])
+        with pytest.raises(ValueError):
+            with_asymmetry(model, 2.0)
+
+    def test_partition_window_entirely_in_past_is_noop(self):
+        net = SimNetwork()
+        a, b = Echo("a"), Echo("b")
+        net.register(a)
+        net.register(b)
+        net.scheduler.at(2.0, lambda: None)
+        net.run()
+        assert net.scheduler.now == 2.0
+        net.partition_between({"a"}, {"b"}, start=0.5, duration=1.0)  # ended at 1.5
+        a.send("b", "x")
+        net.run()
+        assert [m for _, m, _ in b.received] == ["x"]
+
+    def test_partition_heal_uses_absolute_window_end(self):
+        net = SimNetwork(latency=constant_latency(0.0))
+        a, b = Echo("a"), Echo("b")
+        net.register(a)
+        net.register(b)
+        net.scheduler.at(1.0, lambda: None)
+        net.run()  # now == 1.0
+        # Window [0.5, 2.0): started in the past, heals at 2.0 — not 1.0+1.5.
+        net.partition_between({"a"}, {"b"}, start=0.5, duration=1.5)
+        net.scheduler.at(1.9, lambda: a.send("b", "blocked"))
+        net.scheduler.at(2.1, lambda: a.send("b", "open"))
+        net.run(until=3.0)
+        assert [m for _, m, _ in b.received] == ["open"]
+        assert net.messages_dropped == 1
+
+
+def test_failed_every_does_not_corrupt_repeat_counter():
+    """A rejected every() (start in the past) must not leak _repeat_live,
+    which would make later unbounded runs raise spuriously."""
+    sched = EventScheduler()
+    sched.at(1.0, lambda: None)
+    sched.run()  # now == 1.0
+    with pytest.raises(SimulationError):
+        sched.every(0.5, lambda: None, start=0.2)
+    fired = []
+    sched.at(2.0, lambda: fired.append(True))
+    sched.run()  # must not raise "only repeating events remain"
+    assert fired == [True]
+
+
+def test_regions_matrix_upper_triangle_is_symmetric():
+    """Zero cells mean 'unspecified': filling only the upper triangle
+    falls back to the reverse direction, yielding a symmetric model."""
+    from repro.network import regions_matrix
+
+    model = regions_matrix("upper", ("x", "y"), [[0.0, 5.0], [0.0, 0.0]])
+    assert model.one_way("x", "y") == pytest.approx(5e-3)
+    assert model.one_way("y", "x") == pytest.approx(5e-3)  # not a 0-second link

@@ -8,12 +8,12 @@ from repro.ledger.wellformed import check_well_formed, parse_fragment
 from repro.lpbft.checkpointing import CheckpointDirectory, reference_checkpoint_seqno
 from repro.errors import WellFormednessError
 
-from conftest import build_deployment, run_workload
+from helpers import build_deployment, run_workload
 
 
 @pytest.fixture(scope="module")
 def honest_ledger():
-    from conftest import FAST_PARAMS, run_waves
+    from helpers import FAST_PARAMS, run_waves
 
     dep = build_deployment(seed=b"wf", params=FAST_PARAMS.variant(checkpoint_interval=4))
     client = dep.add_client(retry_timeout=0.5)
