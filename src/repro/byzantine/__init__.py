@@ -11,6 +11,7 @@
 from .behaviors import (
     Behavior,
     TamperExecution,
+    TamperSyncChunks,
     SilentReplica,
     SuppressReceipts,
     UnresponsiveToAudit,
@@ -22,6 +23,7 @@ from .forgery import forge_receipt, forge_alternate_output, forge_eoc_receipt
 __all__ = [
     "Behavior",
     "TamperExecution",
+    "TamperSyncChunks",
     "SilentReplica",
     "SuppressReceipts",
     "UnresponsiveToAudit",

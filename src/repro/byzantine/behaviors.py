@@ -44,6 +44,9 @@ class Behavior:
     def outgoing_view_change(self, replica, dst: str, payload: tuple) -> tuple | None:
         return payload
 
+    def outgoing_sync_chunk(self, replica, dst: str, payload: tuple) -> tuple | None:
+        return payload
+
     def provide_ledger_package(self, replica, package):
         return package
 
@@ -149,6 +152,25 @@ class LedgerRewriter(Behavior):
             subledger=package.subledger,
             source_replica=package.source_replica,
         )
+
+
+class TamperSyncChunks(Behavior):
+    """Serve corrupted state-sync chunks — a Byzantine server trying to
+    poison a recovering peer's checkpoint.  The client rejects every
+    tampered chunk against the manifest digest and fails over to another
+    server, so this is (provably) only a liveness attack."""
+
+    def __init__(self, flip_chunk: int | None = None) -> None:
+        self.flip_chunk = flip_chunk  # None = tamper every chunk
+        self.tampered = 0
+
+    def outgoing_sync_chunk(self, replica, dst, payload):
+        tag, cp_seqno, index, chunk = payload
+        if self.flip_chunk is not None and index != self.flip_chunk:
+            return payload
+        self.tampered += 1
+        doctored = bytes(chunk[:-1]) + bytes([chunk[-1] ^ 0x01]) if chunk else b"\x01"
+        return (tag, cp_seqno, index, doctored)
 
 
 class EquivocatingPrimary(Behavior):

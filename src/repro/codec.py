@@ -211,6 +211,17 @@ def decode_stream(data: bytes) -> Iterator[Any]:
         yield value
 
 
+def encode_stream(values) -> bytes:
+    """Encode an iterable of values as a concatenation of canonical
+    encodings (the inverse of :func:`decode_stream`).  Used for chunked
+    state transfer, where a chunk is a self-delimiting stream of
+    ``(key, value)`` pairs rather than one enclosing sequence."""
+    out = bytearray()
+    for value in values:
+        _encode_into(out, value)
+    return bytes(out)
+
+
 def encoded_size(value: Any) -> int:
     """Return the size in bytes of the canonical encoding of ``value``."""
     return len(encode(value))

@@ -15,7 +15,13 @@ dict-backed store with an undo log).  The store provides:
 """
 
 from .store import KVStore, KVTransaction, TxRecord
-from .checkpoints import Checkpoint, checkpoint_digest
+from .checkpoints import (
+    Checkpoint,
+    ChunkReassembler,
+    checkpoint_digest,
+    chunk_digest,
+    chunk_state,
+)
 from .procedures import ProcedureRegistry, procedure_result
 
 __all__ = [
@@ -23,7 +29,10 @@ __all__ = [
     "KVTransaction",
     "TxRecord",
     "Checkpoint",
+    "ChunkReassembler",
     "checkpoint_digest",
+    "chunk_digest",
+    "chunk_state",
     "ProcedureRegistry",
     "procedure_result",
 ]

@@ -26,6 +26,8 @@ from .messages import (
     ReplyX,
     ViewChange,
     NewView,
+    SyncOffer,
+    SyncManifest,
     bitmap_of,
     bitmap_members,
 )
@@ -51,6 +53,8 @@ __all__ = [
     "ReplyX",
     "ViewChange",
     "NewView",
+    "SyncOffer",
+    "SyncManifest",
     "bitmap_of",
     "bitmap_members",
     "CheckpointDirectory",

@@ -14,12 +14,13 @@ digest recorded by the last checkpoint transaction strictly before ``s``
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 
 from ..crypto.hashing import Digest
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, order=True)
 class CheckpointRecord:
     """One checkpoint transaction as seen in the ledger: the batch that
     recorded it and the checkpoint it vouches for."""
@@ -40,29 +41,49 @@ class CheckpointDirectory:
     def __init__(self, genesis_digest: Digest) -> None:
         self._genesis_digest = genesis_digest
         self._records: list[CheckpointRecord] = []
+        # Parallel sorted list of record_seqnos so the per-pre-prepare
+        # reference_for lookup is a real O(log n) bisect.
+        self._seqnos: list[int] = []
 
     def note_record(self, record_seqno: int, cp_seqno: int, digest: Digest) -> None:
-        """Record a checkpoint transaction appearing at ``record_seqno``."""
-        self._records.append(
-            CheckpointRecord(record_seqno=record_seqno, cp_seqno=cp_seqno, digest=digest)
-        )
+        """Record a checkpoint transaction appearing at ``record_seqno``.
+
+        Kept sorted by ``record_seqno`` regardless of call order (a replay
+        after rollback, or a forced configuration-start record, may note
+        records out of arrival order), and re-noting the same batch — an
+        undone batch re-executed in a later view — replaces the stale
+        record instead of shadowing it.
+        """
+        record = CheckpointRecord(record_seqno=record_seqno, cp_seqno=cp_seqno, digest=digest)
+        index = bisect_left(self._seqnos, record_seqno)
+        if index < len(self._seqnos) and self._seqnos[index] == record_seqno:
+            self._records[index] = record
+        else:
+            self._records.insert(index, record)
+            self._seqnos.insert(index, record_seqno)
 
     def rollback_after(self, seqno: int) -> None:
-        """Drop records from batches later than ``seqno`` (view change)."""
-        self._records = [r for r in self._records if r.record_seqno <= seqno]
+        """Drop records from batches later than ``seqno`` (view change).
+
+        A record *at* ``seqno`` survives — including a forced
+        configuration-start checkpoint recorded by the first batch of a
+        new configuration: rolling back to that batch must not forget the
+        checkpoint it itself recorded.
+        """
+        keep = bisect_left(self._seqnos, seqno + 1)
+        del self._records[keep:]
+        del self._seqnos[keep:]
 
     def reference_for(self, seqno: int) -> tuple[int, Digest]:
         """The ``(cp_seqno, digest)`` that the pre-prepare at ``seqno``
-        must carry as dC: the last recorded checkpoint before ``seqno``,
-        or the genesis checkpoint if none."""
-        chosen: CheckpointRecord | None = None
-        for record in self._records:
-            if record.record_seqno < seqno:
-                chosen = record
-            else:
-                break
-        if chosen is None:
+        must carry as dC: the last recorded checkpoint *strictly* before
+        ``seqno`` (a checkpoint transaction inside the batch at ``seqno``
+        itself is not yet committed, so it cannot be referenced), or the
+        genesis checkpoint if none."""
+        index = bisect_left(self._seqnos, seqno)
+        if index == 0:
             return (0, self._genesis_digest)
+        chosen = self._records[index - 1]
         return (chosen.cp_seqno, chosen.digest)
 
     def records(self) -> list[CheckpointRecord]:

@@ -38,6 +38,17 @@ class ProtocolParams:
     verify_cache: bool = True
     batch_verify: bool = True
 
+    # State sync (checkpoint transfer + ledger catch-up, §3.4/§5.1).
+    # ``sync_lag_batches`` is the stash-gap that triggers a transfer
+    # (0 = use the checkpoint interval); chunks are at most
+    # ``sync_chunk_bytes`` with ``sync_window`` requests in flight.
+    state_sync: bool = True
+    sync_chunk_bytes: int = 65536
+    sync_window: int = 4
+    sync_retry_timeout: float = 0.25
+    sync_max_retries: int = 3
+    sync_lag_batches: int = 0
+
     # Feature toggles (Tab. 3 variants).
     receipts: bool = True
     checkpoints: bool = True
@@ -58,6 +69,12 @@ class ProtocolParams:
             raise ValueError("max_batch must be >= 1")
         if self.checkpoint_interval < self.pipeline + 1:
             raise ValueError("checkpoint interval C must exceed pipeline depth P")
+        if self.sync_chunk_bytes < 1:
+            raise ValueError("sync_chunk_bytes must be >= 1")
+        if self.sync_window < 1:
+            raise ValueError("sync_window must be >= 1")
+        if self.sync_retry_timeout <= 0:
+            raise ValueError("sync_retry_timeout must be positive")
 
 
 # Named presets matching the paper's deployments.

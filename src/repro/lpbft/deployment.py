@@ -138,6 +138,7 @@ class Deployment:
         self.clients: list[LPBFTClient] = []
         self.service_name = self.replicas[0].service_name
         self._client_counter = 0
+        self._crash_partitions: dict[int, int] = {}
 
     # -- clients ---------------------------------------------------------------
 
@@ -231,6 +232,88 @@ class Deployment:
         self.net.register(client)
         self.clients.append(client)
         return client
+
+    # -- replica lifecycle (state-sync scenarios) ---------------------------------------
+
+    def add_replica(self, replica_id: int | None = None, site: str = "local", start_sync: bool = True) -> LPBFTReplica:
+        """Spin up a fresh replica mid-run and point it at the service.
+
+        The newcomer starts from genesis, registers on the network, is
+        added to every existing replica's directory (the operator's
+        discovery service), and — unless ``start_sync`` is False —
+        immediately state-syncs to the commit frontier.  It mirrors the
+        ledger passively until a governance referendum makes it a member
+        (§5.1): pass its id to :meth:`propose_successor`.
+        """
+        rid = len(self.replicas) if replica_id is None else replica_id
+        if any(r.id == rid for r in self.replicas):
+            raise ValueError(f"replica {rid} already deployed")
+        member_id = f"member-{rid}"
+        self.member_keys.setdefault(
+            member_id, self.backend.generate(self.seed + b"|member|" + bytes([rid]))
+        )
+        self.replica_keys.setdefault(
+            rid, self.backend.generate(self.seed + b"|replica|" + bytes([rid]))
+        )
+        directory = {r.id: r.address for r in self.replicas}
+        directory[rid] = f"replica-{rid}"
+        replica = LPBFTReplica(
+            replica_id=rid,
+            keypair=self.replica_keys[rid],
+            genesis_config=self.genesis_config,
+            registry=self.registry,
+            params=self.params,
+            costs=self.costs,
+            site=site,
+            metrics=MetricsCollector(),
+            backend=self.backend,
+            replica_directory=directory,
+            initial_state=self.initial_state,
+            verify_cache=self.verify_cache,
+        )
+        self.net.register(replica)
+        self.replicas.append(replica)
+        for peer in self.replicas[:-1]:
+            peer.replica_directory[rid] = replica.address
+        # Crash partitions snapshot "everyone else" at crash time; a node
+        # registered later must not tunnel through to a crashed replica.
+        for crashed_id in list(self._crash_partitions):
+            self.net.heal(self._crash_partitions.pop(crashed_id))
+            self._crash_partitions[crashed_id] = self._crash_partition(crashed_id)
+        replica.on_start()
+        if start_sync:
+            replica.start_state_sync("join")
+        return replica
+
+    def _replica_by_id(self, replica_id: int) -> LPBFTReplica:
+        for replica in self.replicas:
+            if replica.id == replica_id:
+                return replica
+        raise ValueError(f"no replica with id {replica_id}")
+
+    def _crash_partition(self, replica_id: int) -> int:
+        address = self._replica_by_id(replica_id).address
+        others = {a for a in self.net.addresses() if a != address}
+        return self.net.partition({address}, others)
+
+    def crash_replica(self, replica_id: int) -> None:
+        """Crash a replica: it stops exchanging messages with everyone
+        (durable state — ledger, KV store, checkpoints — survives)."""
+        if replica_id in self._crash_partitions:
+            return
+        self._crash_partitions[replica_id] = self._crash_partition(replica_id)
+
+    def recover_replica(self, replica_id: int, resync: bool = True) -> None:
+        """Restart a crashed replica: volatile state (message stores,
+        pending requests, view-change progress) is lost, durable state is
+        kept, and a state sync brings it back to the commit frontier."""
+        partition_id = self._crash_partitions.pop(replica_id, None)
+        if partition_id is not None:
+            self.net.heal(partition_id)
+        replica = self._replica_by_id(replica_id)
+        replica.reset_volatile_state()
+        if resync:
+            replica.start_state_sync("recovery")
 
     # -- fault injection ---------------------------------------------------------------
 

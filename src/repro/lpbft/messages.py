@@ -427,3 +427,9 @@ def bitmap_members(bitmap: int) -> list[int]:
         bitmap >>= 1
         r += 1
     return members
+
+
+# State-sync wire messages (``sync-offer`` / ``sync-manifest``, §3.4
+# fetch) are defined with their subsystem but belong to the protocol
+# surface alongside the types above; re-exported here.
+from ..statesync.messages import SyncManifest, SyncOffer  # noqa: E402

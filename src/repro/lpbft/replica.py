@@ -237,11 +237,23 @@ class LPBFTReplicaCore(Node):
         self._batch_timer: int | None = None
         self._nonce_counter = 0
 
+        # State sync (overridden by StateSyncMixin): True while a state
+        # transfer is in flight and normal operation is suspended.
+        self.syncing = False
+
         self._init_view_change_state()
+        self._init_state_sync()
 
     # Overridden by ViewChangeMixin; present so the core runs standalone in
     # tests that never change views.
     def _init_view_change_state(self) -> None:
+        pass
+
+    # Overridden by StateSyncMixin.
+    def _init_state_sync(self) -> None:
+        pass
+
+    def _maybe_detect_lag(self) -> None:
         pass
 
     # -- identity and quorum helpers ------------------------------------------
@@ -723,6 +735,7 @@ class LPBFTReplicaCore(Node):
                         self.pending_pps.remove(stashed)
                         progress = True
                         break
+        self._maybe_detect_lag()
 
     def _try_accept_pre_prepare(self, pp: PrePrepare, batch_digests: tuple) -> bool:
         """Validate and execute the pre-prepare at the expected sequence
@@ -1050,13 +1063,63 @@ class LPBFTReplicaCore(Node):
         if located is None:
             return
         record = self.batches.get(located[0])
-        if record is None or not record.prepared:
+        if record is None:
+            # The batch record was garbage-collected (or never built — a
+            # state-synced replica only reconstructs committed batches);
+            # everything a replyx needs is still in the ledger.  Only
+            # committed batches qualify: an executed-but-unprepared batch
+            # can still be rolled back by a view change, and serving its
+            # receipt would break receipt safety.
+            if located[0] <= self.committed_upto:
+                self._replyx_from_ledger(tx_digest, located, src)
+            return
+        if not record.prepared:
             return
         for position, (tio, d) in enumerate(zip(record.tios, record.tx_digests)):
             if d == tx_digest:
                 self.request_sources[tx_digest] = src
                 self._send_replyx(record, position, tio, tx_digest, src)
                 return
+
+    def _replyx_from_ledger(self, tx_digest: Digest, located: tuple[int, int], src: str) -> None:
+        """Rebuild a replyx for a committed-and-pruned batch from ledger
+        entries alone: the pre-prepare, the (t, i, o) triples, and a fresh
+        per-batch tree G for the inclusion path."""
+        seqno, index = located
+        info = self.ledger.batch(seqno)
+        if info is None:
+            return
+        pp = self.ledger.batch_pre_prepare(seqno)
+        g_tree = MerkleTree()
+        position = None
+        target: tuple | None = None
+        for offset, entry in enumerate(self.ledger.entries(info.first_tx, info.end)):
+            tio = entry.tio()
+            g_tree.append(digest_value(tio))
+            if tio[1] == index:
+                position = offset
+                target = tio
+        if position is None or target is None:
+            return
+        self.charge(len(g_tree) * self.costs.hash_fixed)
+        path = g_tree.path(position)
+        replyx = ReplyX(
+            view=pp.view,
+            seqno=seqno,
+            root_m=pp.root_m,
+            primary_nonce_commitment=pp.nonce_commitment,
+            evidence_bitmap=pp.evidence_bitmap,
+            gov_index=pp.gov_index,
+            checkpoint_digest=pp.checkpoint_digest,
+            flags=pp.flags,
+            committed_root=pp.committed_root,
+            tx_digest=tx_digest,
+            index=target[1],
+            output=target[2],
+            path=path.to_wire(),
+        )
+        self.send(src, ("replyx", replyx.to_wire()))
+        self.metrics.bump("receipts_rebuilt_from_ledger")
 
     # -- checkpoints (§3.4) ------------------------------------------------------------
 

@@ -37,6 +37,7 @@ from ..ledger import (
     entry_from_wire,
 )
 from ..receipts.chain import GovernanceChain
+from ..statesync.integration import STATESYNC_DISPATCH, StateSyncMixin
 from .messages import (
     BATCH_CHECKPOINT,
     NewView,
@@ -83,6 +84,12 @@ class ViewChangeMixin:
         has visibly moved to a higher view without us."""
         from .messages import PrePrepare as _PP
 
+        if self.syncing:
+            # A state transfer is already recovering us; do not also
+            # suspect the primary or fight over views meanwhile.
+            self._progress_mark = self.committed_upto
+            self._arm_view_change_timer()
+            return
         progressed = self.committed_upto > self._progress_mark
         self._progress_mark = self.committed_upto
         if not progressed:
@@ -94,8 +101,7 @@ class ViewChangeMixin:
                 pp = _PP.from_wire(higher[0][0])
                 config = self.current_config()
                 primary_addr = self.replica_directory.get(config.primary_for_view(pp.view))
-                if primary_addr:
-                    self.send(primary_addr, ("fetch-ledger",))
+                self._request_state_sync(primary_addr, reason="missed_view")
                 self._arm_view_change_timer()
                 return
             # Conversely, if we over-advanced our view while isolated and
@@ -106,11 +112,20 @@ class ViewChangeMixin:
                 self._last_lower_view_drop = None
                 config = self.current_config()
                 primary_addr = self.replica_directory.get(config.primary_for_view(lower))
-                if primary_addr:
-                    self.send(primary_addr, ("fetch-ledger",))
+                self._request_state_sync(primary_addr, reason="over_advanced")
                 self._arm_view_change_timer()
                 return
         self._retry_pending_pps()  # drop stale stash before judging pendancy
+        if not progressed and self.pending_pps and self.params.state_sync:
+            # Stuck with a deep stash despite a whole timer period of no
+            # progress (e.g. the evidence for the next batch was
+            # garbage-collected at every peer): a transfer is the only
+            # way forward, gap or no gap.
+            horizon = max(item[0][2] for item in self.pending_pps)
+            if horizon - max(self.committed_upto, 0) > self._lag_threshold():
+                self._request_state_sync(reason="stuck")
+                self._arm_view_change_timer()
+                return
         has_pending = (
             bool(self.requests)
             or self.prepared_upto > self.committed_upto
@@ -376,9 +391,19 @@ class ViewChangeMixin:
 
     # -- ledger adoption (join §5.1 / primary sync §3.2) -----------------------------------
 
+    def _request_state_sync(self, source_address: str | None = None, reason: str = "recovery") -> None:
+        """Legacy whole-ledger fetch; overridden by
+        :class:`~repro.statesync.StateSyncMixin` with the chunked,
+        verified transfer when ``params.state_sync`` is on."""
+        if source_address:
+            self.send(source_address, ("fetch-ledger",))
+
     def request_join(self, source_address: str) -> None:
         """Ask a running replica for its ledger and newest checkpoint."""
-        self.send(source_address, ("fetch-ledger",))
+        if self.params.state_sync and hasattr(self, "start_state_sync"):
+            self.start_state_sync("join")
+        else:
+            self.send(source_address, ("fetch-ledger",))
         self.send(source_address, ("get-gov-chain",))
 
     def handle_ledger_bundle(self, src: str, msg: tuple) -> None:
@@ -386,7 +411,13 @@ class ViewChangeMixin:
         if start != 0 or len(entry_wires) <= len(self.ledger):
             self._resume_after_sync(src)
             return
-        self._adopt_ledger(entry_wires, cp_wire, view)
+        from ..errors import KVError, LedgerError, MerkleError
+
+        try:
+            self._adopt_ledger(entry_wires, cp_wire, view)
+        except (ProtocolError, LedgerError, KVError, MerkleError, TypeError):
+            self.metrics.bump("bad_ledger_bundles")
+            return
         self.send(src, ("get-gov-chain",))
         self._resume_after_sync(src)
         self._retry_pending_pps()  # prune stash entries the adoption covered
@@ -407,63 +438,74 @@ class ViewChangeMixin:
             self.gov_chain = chain
 
     def _adopt_ledger(self, entry_wires: tuple, cp_wire, view: int) -> None:
-        """Replace local state with a fetched ledger: rebuild the ledger
-        and Merkle tree, restore the KV store from the checkpoint, replay
-        the batches after it, and reconstruct per-batch records.
+        """Replace local state with a fetched whole ledger (legacy bundle
+        path); :meth:`_install_ledger_state` does the real work."""
+        entries = [entry_from_wire(w) for w in entry_wires]
+        ledger = Ledger()
+        for entry in entries:
+            ledger.append(entry)
+        if cp_wire is not None:
+            cp_seqno, state_items, cp_lsize, cp_lroot = cp_wire
+            checkpoint = Checkpoint(
+                seqno=cp_seqno,
+                state={k: v for k, v in state_items},
+                ledger_size=cp_lsize,
+                ledger_root=cp_lroot,
+            )
+        else:
+            checkpoint = None
+        self._install_ledger_state(ledger, checkpoint, view)
+
+    def _install_ledger_state(self, ledger: Ledger, checkpoint: Checkpoint | None, view: int) -> int:
+        """Adopt ``ledger`` wholesale: restore the KV store from
+        ``checkpoint``, replay only the batches after it, and reconstruct
+        per-batch records.  Returns the number of replayed batches.
 
         The paper's fetch verifies checkpoint receipts and per-interval
         Merkle roots instead of replaying everything (§3.4); we verify the
-        structure while rebuilding and replay only from the checkpoint.
+        structure while rebuilding, replay only from the checkpoint, and
+        check every replayed batch against its signed ``root_g`` —
+        raising :class:`ProtocolError` *before* any replica state changes,
+        so a failed install leaves the replica untouched.
         """
         # Imported lazily: repro.governance.subledger itself imports the
         # lpbft message types, so a module-level import would be circular.
         from ..governance.subledger import extract_governance_subledger
 
-        entries = [entry_from_wire(w) for w in entry_wires]
+        entries = ledger.entries()
         subledger = extract_governance_subledger(entries, self.params.pipeline)
-        ledger = Ledger()
-        for entry in entries:
-            ledger.append(entry)
-        # Checkpoint.
-        if cp_wire is not None:
-            cp_seqno, state_items, cp_lsize, cp_lroot = cp_wire
-            cp_state = {k: v for k, v in state_items}
-            checkpoint = Checkpoint(
-                seqno=cp_seqno, state=cp_state, ledger_size=cp_lsize, ledger_root=cp_lroot
-            )
-        else:
-            cp_seqno = 0
-            checkpoint = None
+        schedule = subledger.schedule.copy()
+        cp_seqno = 0 if checkpoint is None else checkpoint.seqno
         kv = KVStore()
-        if checkpoint is not None and cp_seqno > 0:
+        if checkpoint is not None:
+            # The genesis checkpoint (seqno 0) restores too: it carries any
+            # pre-populated initial state that a bare config install lacks.
             checkpoint.restore_into(kv)
+            self.charge(len(checkpoint.state) * self.costs.checkpoint_per_entry)
         else:
-            genesis = entries[0]
-            assert isinstance(genesis, GenesisEntry)
+            if not entries or not isinstance(entries[0], GenesisEntry):
+                raise ProtocolError("adopted ledger does not start with genesis")
             from ..governance.configuration import Configuration as _Cfg
             from ..governance.transactions import install_configuration as _install
 
-            config0 = _Cfg.from_wire(genesis.config_wire)
+            config0 = _Cfg.from_wire(entries[0].config_wire)
             kv.execute(lambda tx: _install(tx, config0))
 
-        self.schedule = subledger.schedule.copy()
-        self.ledger = ledger
-        self.kv = kv
-        self.checkpoints = {cp_seqno: checkpoint} if checkpoint is not None else {}
-        self.last_taken_cp = cp_seqno
-        self.cp_directory = CheckpointDirectoryFromLedger(entries, self)
-        self.batches = {}
-        self.tx_locations = {}
-
+        checkpoints: dict[int, Checkpoint] = {cp_seqno: checkpoint} if checkpoint is not None else {}
+        last_taken = cp_seqno
+        batches: dict[int, BatchRecord] = {}
+        tx_locations: dict = {}
+        new_pps: dict = {}
+        new_ppd: dict = {}
         activations = {
             span.start_seqno: span.config
-            for span in self.schedule.spans()
+            for span in schedule.spans()
             if span.config.number > 0
         }
         from ..crypto.hashing import digest_value as _dv
-        from ..merkle import MerkleTree as _MT
 
         last_recorded = -1
+        replayed = 0
         for info in ledger.batches():
             seqno = info.seqno
             pp = ledger.batch_pre_prepare(seqno)
@@ -476,31 +518,40 @@ class ViewChangeMixin:
             replaying = seqno > cp_seqno
             if replaying and seqno in activations:
                 kv.execute(lambda tx, c=activations[seqno]: install_configuration(tx, c))
-            for offset, entry in enumerate(ledger.entries(info.first_tx, info.end)):
+            for entry in ledger.entries(info.first_tx, info.end):
                 if isinstance(entry, CheckpointTxEntry):
                     record.tios.append(entry.tio())
                     record.g_tree.append(_dv(entry.tio()))
                     record.tx_digests.append(None)
                     last_recorded = entry.cp_seqno
                     continue
-                assert isinstance(entry, TxEntry)
+                if not isinstance(entry, TxEntry):
+                    raise ProtocolError(f"unexpected {entry.kind!r} entry inside batch {seqno}")
                 request = entry.request()
                 tx_digest = request.request_digest()
                 if replaying:
-                    output, _ = execute_procedure(kv, self.registry, request)
+                    output, ops = execute_procedure(kv, self.registry, request)
+                    # Replay is real CPU: catching up from an old (or no)
+                    # checkpoint costs proportionally more than restoring
+                    # a recent one — the §3.4 argument for checkpoints.
+                    self.charge(self.costs.execute_tx(ops, len(kv)))
                     tio = (request.to_wire(), entry.index, output)
                 else:
                     tio = entry.tio()
                 record.tios.append(tio)
                 record.g_tree.append(_dv(tio))
                 record.tx_digests.append(tx_digest)
-                self.tx_locations[tx_digest] = (seqno, entry.index)
-                self.requests.pop(tx_digest, None)
+                tx_locations[tx_digest] = (seqno, entry.index)
+            if replaying:
+                replayed += 1
+                if record.g_tree.root() != pp.root_g:
+                    # Divergent replay or a ledger with doctored outputs.
+                    raise ProtocolError(f"replayed batch {seqno} mismatches signed root_g")
             record.prepared = True
             record.committed = True
-            self.batches[seqno] = record
-            self.pps[(record.view, seqno)] = pp
-            self.ppd_index[record.pp_digest] = (record.view, seqno)
+            batches[seqno] = record
+            new_pps[(record.view, seqno)] = pp
+            new_ppd[record.pp_digest] = (record.view, seqno)
             # Take interval checkpoints passed during replay so the next
             # checkpoint transaction finds its state.
             if (
@@ -509,9 +560,23 @@ class ViewChangeMixin:
                 and record.flags != BATCH_CHECKPOINT
                 and seqno % self.params.checkpoint_interval == 0
             ):
-                self.checkpoints[seqno] = Checkpoint.capture(kv, seqno, info.end, ledger.root_at(info.end))
-                self.last_taken_cp = seqno
+                checkpoints[seqno] = Checkpoint.capture(kv, seqno, info.end, ledger.root_at(info.end))
+                last_taken = seqno
+
+        # Everything verified and built — commit to the replica atomically.
+        self.schedule = schedule
+        self.ledger = ledger
+        self.kv = kv
+        self.checkpoints = checkpoints
+        self.last_taken_cp = last_taken
         self.last_recorded_cp = last_recorded
+        self.cp_directory = CheckpointDirectoryFromLedger(entries, self)
+        self.batches = batches
+        self.tx_locations = tx_locations
+        self.pps.update(new_pps)
+        self.ppd_index.update(new_ppd)
+        for tx_digest in tx_locations:
+            self.requests.pop(tx_digest, None)
         last_seqno = ledger.last_seqno()
         self.prepared_upto = last_seqno
         self.committed_upto = last_seqno
@@ -525,6 +590,7 @@ class ViewChangeMixin:
         self.gov_tx_log = []
         self.reconfig = None
         self.metrics.bump("ledger_adoptions")
+        return replayed
 
     _DISPATCH = dict(LPBFTReplicaCore._DISPATCH)
     _DISPATCH["gov-chain-resp"] = "handle_gov_chain_resp"
@@ -568,5 +634,8 @@ def _bitmap_members(bitmap: int) -> list[int]:
     return members
 
 
-class LPBFTReplica(ViewChangeMixin, LPBFTReplicaCore):
-    """The deployable L-PBFT replica: Alg. 1 + Alg. 2 + reconfiguration."""
+class LPBFTReplica(StateSyncMixin, ViewChangeMixin, LPBFTReplicaCore):
+    """The deployable L-PBFT replica: Alg. 1 + Alg. 2 + reconfiguration +
+    state sync (checkpoint transfer and ledger catch-up)."""
+
+    _DISPATCH = {**ViewChangeMixin._DISPATCH, **STATESYNC_DISPATCH}

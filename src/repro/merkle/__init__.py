@@ -13,6 +13,21 @@ Lemma 1), historical roots (``root_at``), and inclusion proofs.
 """
 
 from .tree import MerkleTree
-from .proofs import MerklePath, verify_path, path_root
+from .proofs import (
+    FrontierAccumulator,
+    MerklePath,
+    frontier_from_wire,
+    frontier_root,
+    path_root,
+    verify_path,
+)
 
-__all__ = ["MerkleTree", "MerklePath", "verify_path", "path_root"]
+__all__ = [
+    "MerkleTree",
+    "MerklePath",
+    "verify_path",
+    "path_root",
+    "FrontierAccumulator",
+    "frontier_root",
+    "frontier_from_wire",
+]

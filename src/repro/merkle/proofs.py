@@ -61,6 +61,66 @@ class MerklePath:
             raise MerkleError(f"malformed merkle path: {exc}") from exc
 
 
+def frontier_root(peaks: tuple) -> Digest:
+    """The root implied by a frontier (peak decomposition), folding peaks
+    right-to-left — matches :meth:`MerkleTree.root` over the same leaves.
+    ``peaks`` is a sequence of ``(height, digest)`` pairs as produced by
+    :meth:`MerkleTree.frontier_at`."""
+    from ..crypto.hashing import EMPTY_DIGEST
+
+    if not peaks:
+        return EMPTY_DIGEST
+    acc = peaks[-1][1]
+    for _, peak in reversed(tuple(peaks)[:-1]):
+        acc = digest_pair(peak, acc)
+    return acc
+
+
+def frontier_from_wire(raw: tuple) -> tuple[tuple[int, Digest], ...]:
+    """Validate and re-type a frontier received over the wire."""
+    try:
+        peaks = tuple((int(h), s) for h, s in raw)
+    except (TypeError, ValueError) as exc:
+        raise MerkleError(f"malformed frontier: {exc}") from exc
+    heights = [h for h, _ in peaks]
+    if heights != sorted(heights, reverse=True) or len(set(heights)) != len(heights):
+        raise MerkleError("frontier heights must be strictly decreasing")
+    for h, sibling in peaks:
+        # h is bounded so a hostile frontier cannot make `1 << h` (used
+        # for size accounting) materialize astronomically large integers.
+        if not 0 <= h <= 62 or not isinstance(sibling, bytes) or len(sibling) != 32:
+            raise MerkleError("malformed frontier peak")
+    return peaks
+
+
+class FrontierAccumulator:
+    """Append-only root tracker seeded from a historical frontier.
+
+    Verifies a fetched ledger *suffix* against signed roots without the
+    prefix leaves: seed with the checkpoint's frontier (whose
+    :func:`frontier_root` must match the checkpoint's ledger root), then
+    append each suffix entry digest; :meth:`root` reproduces what a full
+    :class:`~repro.merkle.tree.MerkleTree` over prefix+suffix would report.
+    """
+
+    def __init__(self, peaks: tuple) -> None:
+        self._peaks: list[tuple[int, Digest]] = list(peaks)
+        self.size = sum(1 << h for h, _ in self._peaks)
+
+    def append(self, leaf: Digest) -> None:
+        if len(leaf) != 32:
+            raise MerkleError(f"leaf must be a 32-byte digest, got {len(leaf)} bytes")
+        self._peaks.append((0, leaf))
+        while len(self._peaks) >= 2 and self._peaks[-1][0] == self._peaks[-2][0]:
+            height, right = self._peaks.pop()
+            _, left = self._peaks.pop()
+            self._peaks.append((height + 1, digest_pair(left, right)))
+        self.size += 1
+
+    def root(self) -> Digest:
+        return frontier_root(tuple(self._peaks))
+
+
 def path_root(leaf: Digest, path: MerklePath) -> Digest:
     """Recompute the root implied by ``leaf`` and ``path``."""
     acc = leaf

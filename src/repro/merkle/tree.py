@@ -168,6 +168,32 @@ class MerkleTree:
         self._nodes[(lo, hi)] = node
         return node
 
+    def frontier_at(self, size: int | None = None) -> tuple[tuple[int, Digest], ...]:
+        """The peak decomposition of the tree at ``size`` leaves: a tuple
+        of ``(height, digest)`` pairs, one per set bit of ``size``, left
+        to right (strictly decreasing heights).
+
+        The frontier is everything needed to keep *appending* to the tree
+        without the underlying leaves: checkpoints ship it so a replica
+        restoring from one can extend the ledger tree M and reproduce
+        every subsequent root (see :class:`~repro.merkle.proofs.FrontierAccumulator`).
+        """
+        size = len(self._leaves) if size is None else size
+        if not 0 <= size <= len(self._leaves):
+            raise MerkleError(f"size {size} out of range [0, {len(self._leaves)}]")
+        peaks: list[tuple[int, Digest]] = []
+        offset = 0
+        remaining = size
+        height = remaining.bit_length() - 1
+        while remaining:
+            span = 1 << height
+            if remaining >= span:
+                peaks.append((height, self._node(offset, offset + span)))
+                offset += span
+                remaining -= span
+            height -= 1
+        return tuple(peaks)
+
     # -- proofs ----------------------------------------------------------
 
     def path(self, index: int, size: int | None = None) -> MerklePath:

@@ -7,11 +7,24 @@ virtual CPU time through :meth:`Node.charge`, and messages it sends depart
 when processing completes.  This makes nodes compute-bound under load,
 which is what the paper observes ("all experiments are compute-bound").
 
-Fault injection: per-link drop rules and partitions, applied at send time.
+Fault injection, applied at send time:
+
+- per-link drop rules and partitions (:meth:`SimNetwork.add_drop_rule`,
+  :meth:`SimNetwork.partition`);
+- message *duplication* (:meth:`SimNetwork.add_duplicate_rule`) — extra
+  copies of matching messages, delivered slightly later;
+- bounded *reordering* (:meth:`SimNetwork.set_reorder`) — each delivery
+  gets an extra seeded-random delay in ``[0, reorder_window]``, so
+  messages sent close together may arrive out of order, but never more
+  than the window apart.
+
+Both adversarial knobs draw from their own seeded RNGs, so runs remain
+deterministic for a given seed and message sequence.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Any, Callable
 
 from ..errors import NetworkError
@@ -106,10 +119,16 @@ class SimNetwork:
         self._partitions: dict[int, tuple[frozenset[str], frozenset[str]]] = {}
         self._partition_counter = 0
         self._drop_rules: list[Callable[[str, str, Any], bool]] = []
+        self._duplicate_rules: list[dict] = []
+        self.reorder_window = 0.0
+        self._reorder_probability = 0.0
+        self._reorder_rng: random.Random | None = None
         self._size_of = size_of or _default_size_of
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_reordered = 0
 
     # -- topology -------------------------------------------------------------
 
@@ -194,6 +213,53 @@ class SimNetwork:
     def clear_drop_rules(self) -> None:
         self._drop_rules.clear()
 
+    def add_duplicate_rule(
+        self,
+        rule: Callable[[str, str, Any], bool] | None = None,
+        probability: float = 1.0,
+        copies: int = 1,
+        extra_delay: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        """Deliver ``copies`` extra copies of matching messages (``rule``
+        None matches everything), each with probability ``probability``.
+
+        Copies arrive after the original, delayed by ``extra_delay`` (or
+        a seeded-random fraction of the link delay when None) — the
+        at-least-once delivery an adversarial or retransmitting network
+        produces.  Deterministic for a given seed and message sequence.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise NetworkError(f"duplicate probability must be in [0, 1], got {probability}")
+        if copies < 1:
+            raise NetworkError(f"duplicate copies must be >= 1, got {copies}")
+        self._duplicate_rules.append(
+            {
+                "rule": rule,
+                "probability": probability,
+                "copies": copies,
+                "extra_delay": extra_delay,
+                "rng": random.Random(seed),
+            }
+        )
+
+    def clear_duplicate_rules(self) -> None:
+        self._duplicate_rules.clear()
+
+    def set_reorder(self, window: float, probability: float = 1.0, seed: int = 0) -> None:
+        """Bounded reordering: each delivery (with ``probability``) gets
+        an extra seeded-random delay in ``[0, window]`` seconds, so sends
+        close together may arrive out of order — but never more than
+        ``window`` later than the fault-free schedule.  ``window`` 0
+        disables the fault."""
+        if window < 0:
+            raise NetworkError(f"reorder window must be non-negative, got {window}")
+        if not 0.0 <= probability <= 1.0:
+            raise NetworkError(f"reorder probability must be in [0, 1], got {probability}")
+        self.reorder_window = window
+        self._reorder_probability = probability
+        self._reorder_rng = random.Random(seed) if window > 0 else None
+
     def _blocked(self, src: str, dst: str) -> bool:
         for a, b in self._partitions.values():
             if (src in a and dst in b) or (src in b and dst in a):
@@ -223,7 +289,31 @@ class SimNetwork:
         depart = max(self.scheduler.now, src_node.cpu_time() if src_node else self.scheduler.now)
         src_site = src_node.site if src_node else dst_node.site
         delay = self.latency.delivery_delay(src_site, dst_node.site, size)
+        if self._reorder_rng is not None:
+            rng = self._reorder_rng
+            if self._reorder_probability >= 1.0 or rng.random() < self._reorder_probability:
+                jitter = rng.random() * self.reorder_window
+                if jitter > 0:
+                    self.messages_reordered += 1
+                    delay += jitter
         self.scheduler.at(depart + delay, lambda: self._deliver(src, dst_node, msg))
+        for dup in self._duplicate_rules:
+            if dup["rule"] is not None and not dup["rule"](src, dst, msg):
+                continue
+            rng = dup["rng"]
+            if dup["probability"] < 1.0 and rng.random() >= dup["probability"]:
+                continue
+            for copy in range(dup["copies"]):
+                if dup["extra_delay"] is not None:
+                    extra = (copy + 1) * dup["extra_delay"]
+                else:
+                    extra = rng.random() * max(delay, 1e-4)
+                self.messages_duplicated += 1
+                self.messages_sent += 1
+                self.bytes_sent += size
+                self.scheduler.at(
+                    depart + delay + extra, lambda: self._deliver(src, dst_node, msg)
+                )
 
     def _deliver(self, src: str, node: Node, msg: Any) -> None:
         # CPU model: processing starts when the node's CPU frees up; the

@@ -1,0 +1,477 @@
+"""Fetching side of state sync: a retrying, verifying state machine.
+
+One :class:`StateSyncClient` is owned by each replica.  A sync session
+walks four phases::
+
+    probe -> manifest -> chunks -> ledger -> install/resume
+
+Every phase has a timeout; a request that times out is retried up to
+``params.sync_max_retries`` times before the client *fails over*: the
+current server is excluded and the session restarts from the best other
+offer (or a fresh probe).  A server caught lying — a chunk that does not
+hash to its manifest entry, a manifest inconsistent with its offer, a
+suffix that fails root checks — is failed over immediately.
+
+Nothing is installed until everything verifies:
+
+- each chunk's bytes against the manifest's ``chunk_digests``;
+- the reassembled state against the checkpoint digest ``dC``;
+- ``dC`` itself against the checkpoint transaction recorded in the
+  fetched ledger (a Byzantine server cannot invent a checkpoint without
+  also forging the signed ledger around it);
+- the ledger suffix against the checkpoint's bound ledger root, the
+  manifest's tree frontier, and every subsequent pre-prepare's signed
+  ``root_m``;
+- replayed batches against their signed ``root_g`` (inside the install).
+
+Duplicated or reordered network deliveries are harmless: chunks are
+accepted idempotently by index and stale-phase messages are dropped.
+"""
+
+from __future__ import annotations
+
+from ..errors import KVError, LedgerError, MerkleError, ProtocolError
+from ..kvstore.checkpoints import Checkpoint, ChunkReassembler
+from ..ledger import CheckpointTxEntry, Ledger, entry_from_wire
+from ..merkle.proofs import FrontierAccumulator, frontier_from_wire, frontier_root
+from .messages import SyncManifest, SyncOffer
+
+IDLE = "idle"
+PROBE = "probe"
+MANIFEST = "manifest"
+CHUNKS = "chunks"
+LEDGER = "ledger"
+
+
+class StateSyncClient:
+    """Pull-based catch-up for one lagging replica."""
+
+    def __init__(self, replica) -> None:
+        self.replica = replica
+        self.phase = IDLE
+        self.server: str | None = None
+        self.offer: SyncOffer | None = None
+        self.manifest: SyncManifest | None = None
+        self.reassembler: ChunkReassembler | None = None
+        self.offers: dict[str, SyncOffer] = {}
+        self.excluded: set[str] = set()
+        self._inflight: set[int] = set()
+        self._next_chunk = 0
+        self._timer: int | None = None
+        self._attempts = 0
+        self._base_len = 0
+        self._started_at = 0.0
+        self.last_result: dict | None = None
+
+    @property
+    def active(self) -> bool:
+        return self.phase != IDLE
+
+    # -- session control ----------------------------------------------------
+
+    def start(self, reason: str = "") -> None:
+        """Begin a sync session (no-op if one is already running)."""
+        replica = self.replica
+        if self.active or not replica.params.state_sync:
+            return
+        peers = [p for p in replica.peer_addresses() if p not in self.excluded]
+        if not peers:
+            self.excluded.clear()
+            peers = replica.peer_addresses()
+        if not peers:
+            return
+        replica.syncing = True
+        replica.ready = False
+        self._started_at = replica.now
+        self.last_result = None
+        self.offers = {}
+        self._enter_probe(peers)
+        replica.metrics.bump("sync_sessions_started")
+        if reason:
+            replica.metrics.bump(f"sync_started_{reason}")
+
+    def abort(self) -> None:
+        """Drop the session without resuming (crash modeling)."""
+        self._cancel_timer()
+        self.phase = IDLE
+        self.server = None
+        self.offer = None
+        self.manifest = None
+        self.reassembler = None
+        self.offers = {}
+        self._inflight = set()
+
+    # -- phases -------------------------------------------------------------
+
+    def _enter_probe(self, peers: list[str] | None = None) -> None:
+        self.phase = PROBE
+        self.server = None
+        self.offer = None
+        self.manifest = None
+        self.reassembler = None
+        self._inflight = set()
+        if peers is None:
+            peers = [p for p in self.replica.peer_addresses() if p not in self.excluded]
+            if not peers:
+                # Everyone failed us once; liveness beats blame — retry all.
+                self.excluded.clear()
+                peers = self.replica.peer_addresses()
+        for peer in peers:
+            self.replica.send(peer, ("sync-probe",))
+        self._arm_timer()
+
+    def _adopt_offer(self, src: str, offer: SyncOffer) -> None:
+        self.server = src
+        self.offer = offer
+        self.manifest = None
+        self.reassembler = None
+        self._inflight = set()
+        self._attempts = 0
+        if offer.cp_seqno > 0 and offer.n_chunks > 0:
+            self.phase = MANIFEST
+            self.replica.send(src, ("sync-get-manifest", offer.cp_seqno))
+        else:
+            self._enter_ledger()
+        self._arm_timer()
+
+    def _enter_ledger(self) -> None:
+        self.phase = LEDGER
+        self._base_len = self._splice_point()
+        root = self.replica.ledger.root_at(self._base_len)
+        self.replica.send(self.server, ("sync-get-ledger", self._base_len, root))
+        self._arm_timer()
+
+    def _splice_point(self) -> int:
+        """Length of our committed ledger prefix: everything at or below
+        the commit frontier is final (BFT safety), so only entries past it
+        need fetching — if the server's prefix is bit-identical."""
+        replica = self.replica
+        if replica.committed_upto >= 1:
+            record = replica.batches.get(replica.committed_upto)
+            if record is not None and 1 <= record.ledger_end <= len(replica.ledger):
+                return record.ledger_end
+        return min(1, len(replica.ledger))
+
+    # -- message handlers (dispatched by the replica) -------------------------
+
+    def on_offer(self, src: str, msg: tuple) -> None:
+        if not self.active or src in self.excluded:
+            return
+        try:
+            offer = SyncOffer.from_wire(msg)
+        except ProtocolError:
+            return
+        int_fields = (
+            offer.cp_seqno, offer.cp_ledger_size, offer.n_chunks,
+            offer.tip_seqno, offer.tip_ledger_size, offer.view,
+        )
+        if not all(isinstance(f, int) for f in int_fields):
+            return
+        if not isinstance(offer.cp_digest, bytes) or not isinstance(offer.cp_ledger_root, bytes):
+            return
+        if offer.tip_seqno < 0 or offer.cp_seqno < 0 or offer.cp_ledger_size < 1:
+            return
+        if offer.cp_seqno > 0 and offer.n_chunks < 1:
+            return  # a real checkpoint always has at least one chunk
+        self.offers[src] = offer
+        if self.phase == PROBE:
+            self._adopt_offer(src, offer)
+
+    def on_manifest(self, src: str, msg: tuple) -> None:
+        if self.phase != MANIFEST or src != self.server:
+            return
+        try:
+            manifest = SyncManifest.from_wire(msg)
+        except ProtocolError:
+            self._failover("bad_manifest")
+            return
+        offer = self.offer
+        consistent = (
+            manifest.cp_seqno == offer.cp_seqno
+            and manifest.cp_digest == offer.cp_digest
+            and manifest.cp_ledger_size == offer.cp_ledger_size
+            and manifest.cp_ledger_root == offer.cp_ledger_root
+            and len(manifest.chunk_digests) == offer.n_chunks
+        )
+        if consistent:
+            try:
+                peaks = frontier_from_wire(manifest.frontier)
+                consistent = (
+                    frontier_root(peaks) == manifest.cp_ledger_root
+                    and FrontierAccumulator(peaks).size == manifest.cp_ledger_size
+                )
+            except MerkleError:
+                consistent = False
+        if not consistent:
+            self._failover("bad_manifest")
+            return
+        self.manifest = manifest
+        self.reassembler = ChunkReassembler(manifest.chunk_digests, manifest.cp_digest)
+        self.phase = CHUNKS
+        self._attempts = 0
+        self._next_chunk = 0
+        self._inflight = set()
+        self._fill_window()
+        self._arm_timer()
+
+    def _fill_window(self) -> None:
+        window = max(1, self.replica.params.sync_window)
+        while len(self._inflight) < window and self._next_chunk < self.reassembler.total:
+            index = self._next_chunk
+            self._next_chunk += 1
+            self._inflight.add(index)
+            self.replica.send(self.server, ("sync-get-chunk", self.offer.cp_seqno, index))
+
+    def on_chunk(self, src: str, msg: tuple) -> None:
+        if self.phase != CHUNKS or src != self.server:
+            return
+        if len(msg) != 4 or not isinstance(msg[2], int):
+            self._failover("malformed_chunk")
+            return
+        cp_seqno, index, chunk = msg[1], msg[2], msg[3]
+        if cp_seqno != self.offer.cp_seqno:
+            return
+        replica = self.replica
+        size = len(chunk) if isinstance(chunk, (bytes, bytearray)) else 0
+        replica.charge(replica.costs.hash_fixed + size * replica.costs.hash_per_byte)
+        if not self.reassembler.add(index, chunk):
+            if index in self._inflight or (0 <= index < self.reassembler.total):
+                replica.metrics.bump("sync_chunks_rejected")
+                self._failover("tampered_chunk")
+            return
+        self._inflight.discard(index)
+        self._attempts = 0
+        replica.metrics.bump("sync_chunks_received")
+        if self.reassembler.complete():
+            self._enter_ledger()
+        else:
+            self._fill_window()
+            self._arm_timer()
+
+    def on_ledger(self, src: str, msg: tuple) -> None:
+        if self.phase != LEDGER or src != self.server:
+            return
+        if (
+            len(msg) != 5
+            or not isinstance(msg[1], int)
+            or not isinstance(msg[2], tuple)
+            or not isinstance(msg[3], int)
+        ):
+            self._failover("malformed_ledger")
+            return
+        start, entry_wires, view, tip_seqno = msg[1], msg[2], msg[3], msg[4]
+        if start not in (0, self._base_len):
+            self._failover("bad_suffix_start")
+            return
+        replica = self.replica
+        try:
+            checkpoint = self._verified_checkpoint()
+            ledger = self._verified_ledger(start, entry_wires, checkpoint)
+        except (ProtocolError, LedgerError, MerkleError, KVError) as exc:
+            replica.metrics.bump("sync_verification_failures")
+            self._failover(f"verify:{type(exc).__name__}")
+            return
+        if ledger.last_seqno() <= replica.committed_upto and replica.committed_upto > 0:
+            # The server offered nothing newer than we already have —
+            # treat as success, normal operation resumes from here.
+            self._finish(checkpoint, ledger, installed=False)
+            return
+        try:
+            replayed = replica._install_ledger_state(ledger, checkpoint, view)
+        except (ProtocolError, LedgerError, KVError) as exc:
+            replica.metrics.bump("sync_verification_failures")
+            self._failover(f"install:{type(exc).__name__}")
+            return
+        self._finish(checkpoint, ledger, installed=True, replayed=replayed,
+                     fetched_entries=len(entry_wires))
+
+    # -- verification ----------------------------------------------------------
+
+    def _verified_checkpoint(self) -> Checkpoint | None:
+        """The checkpoint to restore from: transferred chunks (cp > 0) or
+        our own genesis checkpoint (identical on every replica)."""
+        offer = self.offer
+        if offer.cp_seqno <= 0 or self.reassembler is None:
+            genesis = self.replica.checkpoints.get(0)
+            return genesis  # may be None; install then replays from genesis config
+        state = self.reassembler.reassemble()  # raises KVError on any mismatch
+        return Checkpoint(
+            seqno=offer.cp_seqno,
+            state=state,
+            ledger_size=offer.cp_ledger_size,
+            ledger_root=offer.cp_ledger_root,
+        )
+
+    def _verified_ledger(self, start: int, entry_wires: tuple, checkpoint) -> Ledger:
+        """Splice our committed prefix with the fetched suffix and verify
+        the whole against every digest we hold (raises on mismatch)."""
+        replica = self.replica
+        offer = self.offer
+        wires = list(entry_wires)
+        if start > 0:
+            wires = list(replica.ledger.fragment(0, start).entry_wires) + wires
+        if not wires:
+            raise ProtocolError("empty sync ledger")
+        ledger = Ledger()
+        for wire in wires:
+            ledger.append(entry_from_wire(wire))
+        if len(ledger) < offer.cp_ledger_size:
+            raise ProtocolError("sync ledger shorter than checkpoint bound")
+        replica.charge(len(entry_wires) * (replica.costs.ledger_append + 2 * replica.costs.hash_fixed))
+        genesis = replica.ledger.entry(0)
+        if ledger.entry(0).to_wire() != genesis.to_wire():
+            raise ProtocolError("sync ledger has a different genesis")
+        if offer.cp_seqno > 0:
+            # The checkpoint's ledger binding.
+            if ledger.root_at(offer.cp_ledger_size) != offer.cp_ledger_root:
+                raise ProtocolError("checkpoint ledger root mismatch")
+            # dC must be vouched for by a recorded checkpoint transaction,
+            # and the record's own ledger binding must match the offer's —
+            # otherwise the server could widen the prefix the checkpoint
+            # claims to cover.
+            recorded = any(
+                isinstance(entry, CheckpointTxEntry)
+                and entry.cp_seqno == offer.cp_seqno
+                and entry.cp_digest == offer.cp_digest
+                and entry.ledger_size == offer.cp_ledger_size
+                and entry.ledger_root == offer.cp_ledger_root
+                for entry in ledger.entries(offer.cp_ledger_size)
+            )
+            if not recorded:
+                raise ProtocolError("checkpoint digest not recorded in fetched ledger")
+            # The manifest's frontier must reproduce the tree over the
+            # suffix (proves the frontier belongs to this very prefix).
+            acc = FrontierAccumulator(frontier_from_wire(self.manifest.frontier))
+            for index in range(offer.cp_ledger_size, len(ledger)):
+                acc.append(ledger.entry(index).digest())
+            if acc.root() != ledger.root():
+                raise ProtocolError("manifest frontier inconsistent with suffix")
+        # Every server-supplied batch — everything past our own trusted
+        # prefix, including batches *below* the checkpoint — carries a
+        # signed root_m over the ledger before its pre-prepare entry;
+        # check roots and primary signatures for them all.  Verifying
+        # only past the checkpoint would leave the server an unverified
+        # region in which to fabricate governance history.
+        check_from = max(start, 1)
+        fetched_batches = []
+        for info in ledger.batches():
+            if info.pp_index < check_from:
+                continue
+            pp = ledger.batch_pre_prepare(info.seqno)
+            if ledger.root_at(info.pp_index) != pp.root_m:
+                raise ProtocolError(f"root_m mismatch at batch {info.seqno}")
+            fetched_batches.append((info.seqno, pp))
+        self._verify_suffix_signatures(ledger, fetched_batches)
+        return ledger
+
+    def _verify_suffix_signatures(self, ledger: Ledger, suffix_batches: list) -> None:
+        """Verify the primary signature on every fetched pre-prepare.
+
+        The configurations come from the governance subledger of the very
+        ledger being verified, but the chain is anchored: the genesis was
+        checked against our own, config-0 batches verify under config-0
+        keys, and the governance transactions that create each successor
+        configuration live inside batches verified under its predecessor.
+        Without this, a Byzantine server could feed a fresh joiner an
+        entirely fabricated (internally consistent) history.
+        """
+        if not suffix_batches:
+            return
+        # Imported lazily: repro.governance.subledger imports the lpbft
+        # message types, so a module-level import would be circular.
+        from ..governance.subledger import extract_governance_subledger
+
+        replica = self.replica
+        try:
+            schedule = extract_governance_subledger(
+                ledger.entries(), replica.params.pipeline
+            ).schedule
+        except Exception as exc:
+            raise ProtocolError(f"governance subledger extraction failed: {exc}") from exc
+        items = []
+        for seqno, pp in suffix_batches:
+            config = schedule.config_at_seqno(seqno)
+            primary_id = config.primary_for_view(pp.view)
+            if not config.has_replica(primary_id):
+                raise ProtocolError(f"batch {seqno} signed by non-member {primary_id}")
+            items.append((config.replica_key(primary_id), pp.signed_payload(), pp.signature))
+        if not all(replica._verify_many(items)):
+            raise ProtocolError("pre-prepare signature verification failed in fetched suffix")
+
+    # -- completion / failure -------------------------------------------------
+
+    def _finish(self, checkpoint, ledger, installed: bool, replayed: int = 0,
+                fetched_entries: int = 0) -> None:
+        replica = self.replica
+        self._cancel_timer()
+        self.last_result = {
+            "installed": installed,
+            "cp_seqno": 0 if checkpoint is None else checkpoint.seqno,
+            "chunks": 0 if self.reassembler is None else self.reassembler.total,
+            "replayed_batches": replayed,
+            "fetched_entries": fetched_entries,
+            "tip_seqno": ledger.last_seqno(),
+            "duration": replica.now - self._started_at,
+            "server": self.server,
+        }
+        self.phase = IDLE
+        self.offers = {}
+        self.excluded = set()
+        replica.metrics.bump("sync_sessions_completed")
+        replica._finish_state_sync()
+
+    def _failover(self, reason: str) -> None:
+        replica = self.replica
+        replica.metrics.bump("sync_failovers")
+        if self.server is not None:
+            self.excluded.add(self.server)
+            self.offers.pop(self.server, None)
+        self._attempts = 0
+        fallback = [a for a in self.offers if a not in self.excluded]
+        if fallback:
+            # Best remaining offer: newest stable checkpoint, then newest
+            # tip; address as a deterministic tie-break.
+            src = max(
+                fallback,
+                key=lambda a: (self.offers[a].cp_seqno, self.offers[a].tip_seqno, a),
+            )
+            self._adopt_offer(src, self.offers[src])
+        else:
+            self._enter_probe()
+
+    # -- timeouts -------------------------------------------------------------
+
+    def _arm_timer(self) -> None:
+        self._cancel_timer()
+        self._timer = self.replica.set_timer(
+            self.replica.params.sync_retry_timeout, self._on_timeout
+        )
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self.replica.cancel_timer(self._timer)
+            self._timer = None
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if not self.active:
+            return
+        self._attempts += 1
+        if self._attempts > self.replica.params.sync_max_retries:
+            self._failover("timeout")
+            return
+        replica = self.replica
+        replica.metrics.bump("sync_retries")
+        if self.phase == PROBE:
+            for peer in replica.peer_addresses():
+                if peer not in self.excluded:
+                    replica.send(peer, ("sync-probe",))
+        elif self.phase == MANIFEST:
+            replica.send(self.server, ("sync-get-manifest", self.offer.cp_seqno))
+        elif self.phase == CHUNKS:
+            for index in sorted(self._inflight):
+                replica.send(self.server, ("sync-get-chunk", self.offer.cp_seqno, index))
+        elif self.phase == LEDGER:
+            root = replica.ledger.root_at(self._base_len)
+            replica.send(self.server, ("sync-get-ledger", self._base_len, root))
+        self._arm_timer()

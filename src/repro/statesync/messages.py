@@ -1,0 +1,131 @@
+"""State-sync protocol messages (paper §3.4 fetch, §5.1 join).
+
+The protocol is pull-based and runs between one lagging *client* replica
+and one serving peer at a time:
+
+- ``sync-probe`` → ``sync-offer``: the client asks every peer what the
+  latest *stable* checkpoint (recorded in the ledger, at or below the
+  commit frontier) is; each server answers with an :class:`SyncOffer`.
+- ``sync-get-manifest`` → ``sync-manifest``: the client fetches the
+  :class:`SyncManifest` for the chosen checkpoint — per-chunk digests
+  plus the ledger tree frontier at the checkpoint, everything needed to
+  verify chunks and the ledger suffix before installing anything.
+- ``sync-get-chunk`` → ``sync-chunk``: bounded-size state chunks,
+  requested with a sliding window.
+- ``sync-get-ledger`` → ``sync-ledger``: the ledger suffix past the
+  client's committed prefix (the server falls back to the full ledger
+  when the client's prefix root does not match its own — e.g. a view
+  change the client never witnessed shifted physical positions).
+
+None of these messages is signed: every payload is verified against
+digests the client already trusts or can cross-check in the fetched
+ledger itself (chunks against the manifest, the manifest against ``dC``
+recorded by a checkpoint transaction, the suffix against the checkpoint's
+ledger root and the pre-prepares' signed roots), so a Byzantine server
+can waste a client's time but cannot make it install bad state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.hashing import Digest
+from ..errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class SyncOffer:
+    """A server's answer to a probe: its best stable checkpoint and tip.
+
+    ``cp_seqno == 0`` means "no recorded checkpoint yet" — the client
+    falls back to a ledger-only transfer replayed from genesis.
+    ``tip_seqno`` / ``tip_ledger_size`` describe the server's committed
+    frontier, and ``view`` the view the client should resume in.
+    """
+
+    cp_seqno: int
+    cp_digest: Digest
+    cp_ledger_size: int
+    cp_ledger_root: Digest
+    n_chunks: int
+    tip_seqno: int
+    tip_ledger_size: int
+    view: int
+
+    def to_wire(self) -> tuple:
+        return (
+            "sync-offer",
+            self.cp_seqno,
+            self.cp_digest,
+            self.cp_ledger_size,
+            self.cp_ledger_root,
+            self.n_chunks,
+            self.tip_seqno,
+            self.tip_ledger_size,
+            self.view,
+        )
+
+    @staticmethod
+    def from_wire(raw: tuple) -> "SyncOffer":
+        try:
+            tag, cp_seqno, cp_digest, cp_lsize, cp_lroot, n_chunks, tip, tip_lsize, view = raw
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed sync-offer: {exc}") from exc
+        if tag != "sync-offer":
+            raise ProtocolError(f"expected sync-offer, got {tag!r}")
+        return SyncOffer(
+            cp_seqno=cp_seqno,
+            cp_digest=cp_digest,
+            cp_ledger_size=cp_lsize,
+            cp_ledger_root=cp_lroot,
+            n_chunks=n_chunks,
+            tip_seqno=tip,
+            tip_ledger_size=tip_lsize,
+            view=view,
+        )
+
+
+@dataclass(frozen=True)
+class SyncManifest:
+    """Everything needed to verify a checkpoint transfer.
+
+    ``chunk_digests`` bind each chunk's canonical bytes; ``frontier`` is
+    the ledger tree M's peak decomposition at ``cp_ledger_size`` (so the
+    client can extend the tree over the fetched suffix and compare the
+    result with the signed ``root_m`` values without the prefix leaves).
+    """
+
+    cp_seqno: int
+    cp_digest: Digest
+    cp_ledger_size: int
+    cp_ledger_root: Digest
+    chunk_digests: tuple
+    frontier: tuple  # tuple of (height, digest) pairs
+
+    def to_wire(self) -> tuple:
+        return (
+            "sync-manifest",
+            self.cp_seqno,
+            self.cp_digest,
+            self.cp_ledger_size,
+            self.cp_ledger_root,
+            self.chunk_digests,
+            self.frontier,
+        )
+
+    @staticmethod
+    def from_wire(raw: tuple) -> "SyncManifest":
+        try:
+            tag, cp_seqno, cp_digest, cp_lsize, cp_lroot, chunk_digests, frontier = raw
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed sync-manifest: {exc}") from exc
+        if tag != "sync-manifest":
+            raise ProtocolError(f"expected sync-manifest, got {tag!r}")
+        return SyncManifest(
+            cp_seqno=cp_seqno,
+            cp_digest=cp_digest,
+            cp_ledger_size=cp_lsize,
+            cp_ledger_root=cp_lroot,
+            chunk_digests=tuple(chunk_digests),
+            frontier=tuple(tuple(p) for p in frontier),
+        )

@@ -1,0 +1,166 @@
+"""Serving side of state sync: offers, manifests, chunks, ledger suffixes.
+
+A :class:`StateSyncServer` is owned by a replica and answers pull
+requests from lagging peers.  It only ever serves *stable* history — the
+newest checkpoint whose recording batch is at or below the server's
+commit frontier, and ledger entries up to that frontier — so a client can
+never adopt a suffix the service might still roll back.
+
+Chunking a checkpoint is work (one pass over the state), so the chunks
+and manifest for the currently-served checkpoint are cached and reused
+across clients until a newer checkpoint becomes stable.
+"""
+
+from __future__ import annotations
+
+from ..crypto.hashing import Digest
+from ..kvstore.checkpoints import chunk_digest, chunk_state
+from .messages import SyncManifest, SyncOffer
+
+
+class StateSyncServer:
+    """Answers ``sync-*`` requests from the owning replica's peers."""
+
+    def __init__(self, replica) -> None:
+        self.replica = replica
+        # Cache for the served checkpoint: (cp_seqno, dC) -> (chunks, manifest).
+        self._cache_key: tuple[int, Digest] | None = None
+        self._chunks: list[bytes] = []
+        self._manifest: SyncManifest | None = None
+
+    # -- what is stable ------------------------------------------------------
+
+    def stable_checkpoint(self):
+        """The newest checkpoint that is recorded in the ledger by a batch
+        at or below the commit frontier and still held locally, or None."""
+        replica = self.replica
+        for record in reversed(replica.cp_directory.records()):
+            if record.record_seqno > replica.committed_upto:
+                continue
+            cp = replica.checkpoints.get(record.cp_seqno)
+            if cp is not None and cp.digest() == record.digest:
+                return cp
+        return None
+
+    def _committed_ledger_end(self) -> int:
+        """Ledger length at the commit frontier (entries past it are not
+        served: the service could still roll them back)."""
+        replica = self.replica
+        record = replica.batches.get(replica.committed_upto)
+        if record is not None and record.ledger_end >= 1:
+            return record.ledger_end
+        return 1 if len(replica.ledger) >= 1 else 0
+
+    # -- request handlers ------------------------------------------------------
+
+    def on_probe(self, src: str, msg: tuple) -> None:
+        replica = self.replica
+        if getattr(replica, "syncing", False) or len(replica.ledger) == 0:
+            return  # mid-sync ourselves: nothing trustworthy to offer
+        cp = self.stable_checkpoint()
+        if cp is not None and cp.seqno > 0:
+            chunks, _ = self._chunked(cp)
+            offer = SyncOffer(
+                cp_seqno=cp.seqno,
+                cp_digest=cp.digest(),
+                cp_ledger_size=cp.ledger_size,
+                cp_ledger_root=cp.ledger_root,
+                n_chunks=len(chunks),
+                tip_seqno=replica.committed_upto,
+                tip_ledger_size=self._committed_ledger_end(),
+                view=replica.view,
+            )
+        else:
+            # No stable checkpoint yet: the client replays from its own
+            # genesis checkpoint, so only the ledger needs to travel.
+            offer = SyncOffer(
+                cp_seqno=0,
+                cp_digest=b"",
+                cp_ledger_size=1,
+                cp_ledger_root=replica.ledger.root_at(1),
+                n_chunks=0,
+                tip_seqno=replica.committed_upto,
+                tip_ledger_size=self._committed_ledger_end(),
+                view=replica.view,
+            )
+        replica.send(src, offer.to_wire())
+
+    def on_get_manifest(self, src: str, msg: tuple) -> None:
+        if len(msg) != 2 or not isinstance(msg[1], int):
+            return
+        cp_seqno = msg[1]
+        cp = self.stable_checkpoint()
+        if cp is None or cp.seqno != cp_seqno:
+            return  # a newer checkpoint became stable; the client re-probes
+        _, manifest = self._chunked(cp)
+        self.replica.send(src, manifest.to_wire())
+
+    def on_get_chunk(self, src: str, msg: tuple) -> None:
+        if len(msg) != 3 or not isinstance(msg[1], int) or not isinstance(msg[2], int):
+            return
+        cp_seqno, index = msg[1], msg[2]
+        replica = self.replica
+        if self._cache_key is None or self._cache_key[0] != cp_seqno:
+            cp = self.stable_checkpoint()
+            if cp is None or cp.seqno != cp_seqno:
+                return
+            self._chunked(cp)
+        if not 0 <= index < len(self._chunks):
+            return
+        chunk = self._chunks[index]
+        replica.charge(replica.costs.hash_fixed + len(chunk) * replica.costs.hash_per_byte)
+        payload = ("sync-chunk", cp_seqno, index, chunk)
+        behavior = replica.behavior
+        if behavior is not None:
+            payload = behavior.outgoing_sync_chunk(replica, src, payload)
+            if payload is None:
+                return
+        replica.send(src, payload)
+
+    def on_get_ledger(self, src: str, msg: tuple) -> None:
+        if len(msg) != 3:
+            return
+        base_len, base_root = msg[1], msg[2]
+        replica = self.replica
+        end = self._committed_ledger_end()
+        if end < 1:
+            return
+        start = 0
+        if (
+            isinstance(base_len, int)
+            and 1 <= base_len <= end
+            and base_len <= len(replica.ledger)
+            and replica.ledger.root_at(base_len) == base_root
+        ):
+            # The client's committed prefix is bit-identical to ours:
+            # only the suffix needs to travel.
+            start = base_len
+        fragment = replica.ledger.fragment(start, end)
+        replica.charge(len(fragment) * replica.costs.ledger_append)
+        replica.metrics.bump("sync_ledger_serves")
+        replica.send(
+            src,
+            ("sync-ledger", start, fragment.entry_wires, replica.view, replica.committed_upto),
+        )
+
+    # -- chunk cache ---------------------------------------------------------
+
+    def _chunked(self, cp) -> tuple[list[bytes], SyncManifest]:
+        key = (cp.seqno, cp.digest())
+        if self._cache_key != key:
+            replica = self.replica
+            replica.charge(len(cp.state) * replica.costs.checkpoint_per_entry)
+            self._chunks = chunk_state(cp.state, replica.params.sync_chunk_bytes)
+            self._manifest = SyncManifest(
+                cp_seqno=cp.seqno,
+                cp_digest=cp.digest(),
+                cp_ledger_size=cp.ledger_size,
+                cp_ledger_root=cp.ledger_root,
+                chunk_digests=tuple(chunk_digest(c) for c in self._chunks),
+                frontier=tuple(
+                    (h, d) for h, d in replica.ledger.tree().frontier_at(cp.ledger_size)
+                ),
+            )
+            self._cache_key = key
+            replica.metrics.bump("sync_checkpoints_chunked")
+        return self._chunks, self._manifest

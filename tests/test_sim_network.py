@@ -532,6 +532,134 @@ def test_failed_every_does_not_corrupt_repeat_counter():
     assert fired == [True]
 
 
+class TestAdversarialFaults:
+    """Message duplication and bounded reordering (state-sync PR)."""
+
+    def _pair(self, net):
+        a, b = Echo("a"), Echo("b")
+        net.register(a)
+        net.register(b)
+        return a, b
+
+    def test_duplicate_rule_delivers_extra_copies(self):
+        net = SimNetwork(latency=constant_latency(0.001))
+        a, b = self._pair(net)
+        net.add_duplicate_rule(probability=1.0, copies=2)
+        a.send("b", "x")
+        net.run()
+        assert [m for _, m, _ in b.received] == ["x", "x", "x"]
+        assert net.messages_duplicated == 2
+
+    def test_duplicate_rule_filters_by_rule(self):
+        net = SimNetwork()
+        a, b = self._pair(net)
+        net.add_duplicate_rule(rule=lambda src, dst, msg: msg == "dup-me")
+        a.send("b", "dup-me")
+        a.send("b", "not-me")
+        net.run()
+        assert sorted(m for _, m, _ in b.received) == ["dup-me", "dup-me", "not-me"]
+
+    def test_duplication_deterministic_given_seed(self):
+        def run_once():
+            net = SimNetwork()
+            a, b = Echo("a"), Echo("b")
+            net.register(a)
+            net.register(b)
+            net.add_duplicate_rule(probability=0.5, seed=42)
+            for i in range(50):
+                a.send("b", i)
+            net.run()
+            return net.messages_duplicated, [m for _, m, _ in b.received]
+
+        first, second = run_once(), run_once()
+        assert first == second
+        assert 0 < first[0] < 50
+
+    def test_reorder_within_window_bound(self):
+        net = SimNetwork(latency=constant_latency(0.001))
+        a, b = self._pair(net)
+        net.set_reorder(0.005, seed=1)
+        for i in range(30):
+            a.send("b", i)
+        net.run()
+        received = [m for _, m, _ in b.received]
+        assert sorted(received) == list(range(30))
+        assert received != list(range(30))  # some pair actually swapped
+        # Bounded: nothing arrives later than base latency + window.
+        assert all(t <= 0.001 + 0.005 + 1e-9 for _, _, t in b.received)
+        assert net.messages_reordered > 0
+
+    def test_reorder_deterministic_given_seed(self):
+        def run_once(seed):
+            net = SimNetwork(latency=constant_latency(0.001))
+            a, b = Echo("a"), Echo("b")
+            net.register(a)
+            net.register(b)
+            net.set_reorder(0.004, seed=seed)
+            for i in range(40):
+                a.send("b", i)
+            net.run()
+            return [m for _, m, _ in b.received]
+
+        assert run_once(7) == run_once(7)
+        assert run_once(7) != run_once(8)
+
+    def test_zero_window_disables_reorder(self):
+        net = SimNetwork(latency=constant_latency(0.001))
+        a, b = self._pair(net)
+        net.set_reorder(0.004, seed=3)
+        net.set_reorder(0.0)
+        for i in range(20):
+            a.send("b", i)
+        net.run()
+        assert [m for _, m, _ in b.received] == list(range(20))
+        assert net.messages_reordered == 0
+
+    def test_bad_parameters_rejected(self):
+        net = SimNetwork()
+        with pytest.raises(NetworkError):
+            net.add_duplicate_rule(probability=1.5)
+        with pytest.raises(NetworkError):
+            net.add_duplicate_rule(copies=0)
+        with pytest.raises(NetworkError):
+            net.set_reorder(-1.0)
+        with pytest.raises(NetworkError):
+            net.set_reorder(0.01, probability=2.0)
+
+    def test_clear_duplicate_rules(self):
+        net = SimNetwork()
+        a, b = self._pair(net)
+        net.add_duplicate_rule()
+        net.clear_duplicate_rules()
+        a.send("b", "x")
+        net.run()
+        assert [m for _, m, _ in b.received] == ["x"]
+
+    def test_duplicates_respect_partitions(self):
+        net = SimNetwork()
+        a, b = self._pair(net)
+        net.add_duplicate_rule()
+        net.partition({"a"}, {"b"})
+        a.send("b", "x")
+        net.run()
+        assert b.received == []
+        assert net.messages_duplicated == 0
+
+    def test_lpbft_commits_under_duplication_and_reordering(self):
+        from helpers import build_deployment, run_waves
+
+        dep = build_deployment()
+        dep.net.set_reorder(0.002, seed=42)
+        dep.net.add_duplicate_rule(probability=0.3, seed=7)
+        client = dep.add_client(retry_timeout=0.5)
+        dep.start()
+        digests = run_waves(dep, client)
+        assert len(client.receipts) == len(digests)
+        assert dep.net.messages_duplicated > 0
+        assert dep.net.messages_reordered > 0
+        assert dep.ledgers_agree()
+
+
 def test_regions_matrix_upper_triangle_is_symmetric():
     """Zero cells mean 'unspecified': filling only the upper triangle
     falls back to the reverse direction, yielding a symmetric model."""

@@ -1,0 +1,242 @@
+"""State-sync integration: lagging, recovering, joining, Byzantine servers.
+
+Every scenario runs a live deployment under sustained client load, with
+the victim replica missing history deeper than a checkpoint interval —
+so catch-up *must* go through checkpoint transfer, not batch-by-batch
+retransmission.
+"""
+
+import pytest
+
+from repro.byzantine import TamperSyncChunks
+from repro.lpbft import ProtocolParams
+from repro.workloads import SmallBankWorkload
+
+from helpers import build_deployment
+
+SYNC_PARAMS = ProtocolParams(
+    pipeline=2, max_batch=20, checkpoint_interval=10,
+    batch_delay=0.0005, view_change_timeout=2.0,
+    sync_retry_timeout=0.25,
+)
+
+
+def sustained_load(dep, client, waves=40, per_wave=10, gap=0.1, start=0.05, seed=7):
+    """Schedule submission waves so load keeps flowing while the victim
+    replica is partitioned away (a plain loop would stop submitting)."""
+    wl = SmallBankWorkload(n_accounts=200, seed=seed)
+
+    def wave():
+        for _ in range(per_wave):
+            client.submit(*wl.next_transaction(), min_index=0)
+
+    for i in range(waves):
+        dep.net.scheduler.at(start + i * gap, wave)
+
+
+def assert_caught_up(dep, replica, used_checkpoint=True):
+    frontier = max(r.committed_upto for r in dep.replicas)
+    assert replica.committed_upto == frontier
+    assert dep.ledgers_agree()
+    assert len({r.kv.state_digest() for r in dep.replicas}) == 1
+    result = replica.sync_client.last_result
+    assert result is not None and result["installed"]
+    if used_checkpoint:
+        # Catch-up restored the latest stable checkpoint and replayed only
+        # the suffix — not the full ledger from genesis.
+        assert result["cp_seqno"] >= dep.params.checkpoint_interval
+        assert result["replayed_batches"] <= result["tip_seqno"] - result["cp_seqno"]
+    return result
+
+
+class TestPartitionHealCatchup:
+    def test_isolated_replica_catches_up_via_state_transfer(self):
+        dep = build_deployment(params=SYNC_PARAMS)
+        client = dep.add_client(retry_timeout=0.5)
+        dep.start()
+        sustained_load(dep, client)
+        # Isolated for 3 s of sustained load: the service moves well past
+        # two checkpoint intervals (C = 10) in the meantime.
+        dep.partition_replicas([3], start=0.2, duration=3.0)
+        dep.run(until=8.0)
+        victim = dep.replicas[3]
+        counters = victim.metrics.summary()["counters"]
+        assert counters.get("sync_sessions_completed", 0) >= 1
+        result = assert_caught_up(dep, victim)
+        frontier_gap = result["tip_seqno"] - 2  # victim froze at ~batch 2
+        assert frontier_gap > 2 * dep.params.checkpoint_interval
+        assert len(client.receipts) == 400  # no client-visible loss
+
+    def test_catchup_survives_duplication_and_reordering(self):
+        dep = build_deployment(params=SYNC_PARAMS)
+        dep.net.set_reorder(0.002, seed=11)
+        dep.net.add_duplicate_rule(probability=0.25, seed=13)
+        client = dep.add_client(retry_timeout=0.5)
+        dep.start()
+        sustained_load(dep, client)
+        dep.partition_replicas([3], start=0.2, duration=3.0)
+        dep.run(until=9.0)
+        assert dep.net.messages_duplicated > 0
+        assert dep.net.messages_reordered > 0
+        assert_caught_up(dep, dep.replicas[3])
+
+    def test_sync_disabled_falls_back_to_legacy_fetch(self):
+        dep = build_deployment(params=SYNC_PARAMS.variant(state_sync=False))
+        client = dep.add_client(retry_timeout=0.5)
+        dep.start()
+        sustained_load(dep, client)
+        dep.partition_replicas([3], start=0.2, duration=3.0)
+        dep.run(until=8.0)
+        victim = dep.replicas[3]
+        counters = victim.metrics.summary()["counters"]
+        assert counters.get("sync_sessions_completed", 0) == 0
+        assert victim.committed_upto == max(r.committed_upto for r in dep.replicas)
+        assert dep.ledgers_agree()
+
+
+class TestAddReplicaMidRun:
+    def test_added_replica_syncs_and_mirrors(self):
+        dep = build_deployment(params=SYNC_PARAMS)
+        client = dep.add_client(retry_timeout=0.5)
+        dep.start()
+        sustained_load(dep, client)
+        added = []
+        dep.net.scheduler.at(2.0, lambda: added.append(dep.add_replica()))
+        dep.run(until=6.0)
+        newcomer = added[0]
+        assert newcomer.id == 4
+        result = assert_caught_up(dep, newcomer)
+        # It joined well after two checkpoint intervals of history existed.
+        assert result["cp_seqno"] >= dep.params.checkpoint_interval
+        # And now mirrors passively: its frontier advanced past sync tip.
+        assert newcomer.committed_upto > result["tip_seqno"]
+        assert not newcomer.is_member()
+
+    def test_added_replica_can_become_member(self):
+        dep = build_deployment(params=SYNC_PARAMS)
+        client = dep.add_client(retry_timeout=0.5)
+        members = {m: dep.member_client(m) for m in ("member-1", "member-2", "member-3")}
+        dep.start()
+        sustained_load(dep, client, waves=10)
+        added = []
+        dep.net.scheduler.at(0.6, lambda: added.append(dep.add_replica()))
+        dep.run(until=1.5)
+        assert added[0].committed_upto > 0  # synced before the referendum
+        new_config = dep.propose_successor(add=[4], remove=[0])
+        members["member-1"].submit(
+            "gov.propose", {"member": "member-1", "config": new_config.to_wire()}, min_index=0
+        )
+        dep.run(until=2.0)
+        for name in ("member-1", "member-2", "member-3"):
+            members[name].submit("gov.vote", {"member": name, "accept": True}, min_index=0)
+            dep.run(until=dep.net.scheduler.now + 0.2)
+        dep.run(until=6.0)
+        assert all(r.schedule.current().number == 1 for r in dep.replicas)
+        assert added[0].is_member()
+        assert dep.ledgers_agree()
+
+
+class TestCrashRecovery:
+    def test_crash_then_recover_catches_up(self):
+        dep = build_deployment(params=SYNC_PARAMS)
+        client = dep.add_client(retry_timeout=0.5)
+        dep.start()
+        sustained_load(dep, client)
+        dep.net.scheduler.at(0.5, lambda: dep.crash_replica(2))
+        dep.net.scheduler.at(3.5, lambda: dep.recover_replica(2))
+        dep.run(until=8.0)
+        victim = dep.replicas[2]
+        counters = victim.metrics.summary()["counters"]
+        assert counters.get("volatile_resets", 0) == 1
+        assert counters.get("sync_started_recovery", 0) == 1
+        assert_caught_up(dep, victim)
+
+    def test_crashed_replica_stays_dark_to_later_joiners(self):
+        # A node registered after the crash must not tunnel through the
+        # crash partition and sync from the (stale) crashed replica.
+        dep = build_deployment(params=SYNC_PARAMS)
+        client = dep.add_client(retry_timeout=0.5)
+        dep.start()
+        sustained_load(dep, client)
+        dep.net.scheduler.at(0.5, lambda: dep.crash_replica(2))
+        added = []
+        dep.net.scheduler.at(2.0, lambda: added.append(dep.add_replica()))
+        dep.run(until=4.0)
+        newcomer = added[0]
+        result = newcomer.sync_client.last_result
+        assert result is not None and result["server"] != "replica-2"
+        assert newcomer.committed_upto > dep.replicas[2].committed_upto
+        dep.recover_replica(2)
+        dep.run(until=8.0)
+        assert dep.replicas[2].committed_upto == max(r.committed_upto for r in dep.replicas)
+
+    def test_crash_is_silent(self):
+        dep = build_deployment(params=SYNC_PARAMS)
+        client = dep.add_client(retry_timeout=0.5)
+        dep.start()
+        sustained_load(dep, client, waves=10)
+        dep.net.scheduler.at(0.3, lambda: dep.crash_replica(2))
+        marks = []
+        dep.net.scheduler.at(0.4, lambda: marks.append(dep.replicas[2].committed_upto))
+        dep.run(until=2.0)
+        # Frozen while crashed; the rest keeps committing.
+        assert dep.replicas[2].committed_upto == marks[0]
+        assert max(r.committed_upto for r in dep.replicas) > marks[0]
+
+
+class TestSuffixSignatureVerification:
+    def test_forged_pre_prepare_signature_rejected(self):
+        from dataclasses import replace
+
+        from repro.errors import ProtocolError
+
+        dep = build_deployment(params=SYNC_PARAMS)
+        client = dep.add_client(retry_timeout=0.5)
+        dep.start()
+        sustained_load(dep, client, waves=10)
+        dep.run(until=2.0)
+        ledger = dep.replicas[1].ledger
+        suffix = [
+            (info.seqno, ledger.batch_pre_prepare(info.seqno)) for info in ledger.batches()
+        ]
+        assert len(suffix) > 2
+        checker = dep.replicas[3].sync_client
+        checker._verify_suffix_signatures(ledger, suffix)  # honest: passes
+        seqno, pp = suffix[-1]
+        forged = suffix[:-1] + [(seqno, replace(pp, signature=bytes(64)))]
+        with pytest.raises(ProtocolError):
+            checker._verify_suffix_signatures(ledger, forged)
+
+
+class TestByzantineServer:
+    def test_tampered_chunks_rejected_and_failover(self):
+        # Replica 0 serves corrupted chunks; the victim (3) must reject
+        # them against the manifest digests and catch up from an honest
+        # peer instead.
+        dep = build_deployment(params=SYNC_PARAMS, behaviors={0: TamperSyncChunks()})
+        client = dep.add_client(retry_timeout=0.5)
+        dep.start()
+        sustained_load(dep, client)
+        dep.partition_replicas([3], start=0.2, duration=3.0)
+        dep.run(until=9.0)
+        victim = dep.replicas[3]
+        counters = victim.metrics.summary()["counters"]
+        assert counters.get("sync_chunks_rejected", 0) >= 1
+        assert counters.get("sync_failovers", 0) >= 1
+        result = assert_caught_up(dep, victim)
+        assert result["server"] != "replica-0"
+
+    def test_all_state_installed_is_verified(self):
+        # Even with the tampering server first in line, the installed
+        # state digest matches the honest replicas bit for bit (checked
+        # inside assert_caught_up above); here we additionally pin that
+        # the tamperer really did send corrupted bytes.
+        behavior = TamperSyncChunks()
+        dep = build_deployment(params=SYNC_PARAMS, behaviors={0: behavior})
+        client = dep.add_client(retry_timeout=0.5)
+        dep.start()
+        sustained_load(dep, client)
+        dep.partition_replicas([3], start=0.2, duration=3.0)
+        dep.run(until=9.0)
+        assert behavior.tampered >= 1
+        assert len({r.kv.state_digest() for r in dep.replicas}) == 1

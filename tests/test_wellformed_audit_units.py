@@ -142,6 +142,56 @@ class TestCheckpointArithmetic:
             assert pp.checkpoint_digest == expected
 
 
+class TestCheckpointDirectoryEdgeCases:
+    """Latent boundary cases fixed in the state-sync PR."""
+
+    def test_reference_at_exact_record_boundary(self):
+        # A checkpoint tx inside the batch at s itself is not yet
+        # committed, so reference_for(s) must exclude it; s + 1 sees it.
+        directory = CheckpointDirectory(b"\x00" * 32)
+        directory.note_record(10, 0, b"\x01" * 32)
+        directory.note_record(20, 10, b"\x02" * 32)
+        assert directory.reference_for(10) == (0, b"\x00" * 32)
+        assert directory.reference_for(11) == (0, b"\x01" * 32)
+        assert directory.reference_for(20) == (0, b"\x01" * 32)
+        assert directory.reference_for(21) == (10, b"\x02" * 32)
+
+    def test_out_of_order_notes_are_sorted(self):
+        # A forced configuration-start record can be noted while older
+        # interval records are replayed afterwards; reference_for must
+        # not depend on call order.
+        directory = CheckpointDirectory(b"\x00" * 32)
+        directory.note_record(30, 22, b"\x03" * 32)
+        directory.note_record(10, 0, b"\x01" * 32)
+        directory.note_record(20, 10, b"\x02" * 32)
+        assert [r.record_seqno for r in directory.records()] == [10, 20, 30]
+        assert directory.reference_for(25) == (10, b"\x02" * 32)
+        assert directory.reference_for(31) == (22, b"\x03" * 32)
+
+    def test_renote_same_batch_replaces(self):
+        # An undone batch re-executed in a later view re-notes its record;
+        # the stale one must not survive alongside it.
+        directory = CheckpointDirectory(b"\x00" * 32)
+        directory.note_record(10, 0, b"\x01" * 32)
+        directory.note_record(10, 0, b"\x09" * 32)
+        assert len(directory.records()) == 1
+        assert directory.reference_for(11) == (0, b"\x09" * 32)
+
+    def test_rollback_after_keeps_record_at_boundary(self):
+        # Rolling back *to* the batch that carries a forced
+        # configuration-start checkpoint record keeps that record.
+        directory = CheckpointDirectory(b"\x00" * 32)
+        directory.note_record(10, 0, b"\x01" * 32)
+        directory.note_record(23, 22, b"\x02" * 32)  # config-start record
+        directory.note_record(33, 30, b"\x03" * 32)
+        directory.rollback_after(23)
+        assert [r.record_seqno for r in directory.records()] == [10, 23]
+        assert directory.reference_for(24) == (22, b"\x02" * 32)
+        # Re-noting after the rollback (replayed interval record) stays sorted.
+        directory.note_record(33, 30, b"\x04" * 32)
+        assert directory.reference_for(34) == (30, b"\x04" * 32)
+
+
 class TestLedgerPackage:
     def test_package_wire_roundtrip(self, honest_ledger):
         dep, replica = honest_ledger
