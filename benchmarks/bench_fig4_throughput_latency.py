@@ -4,6 +4,11 @@ Paper: IA-CCF saturates at 47,841 tx/s with latency under 70 ms;
 IA-CCF-NoReceipt 51,209 tx/s (+3%); IA-CCF-PeerReview an order of
 magnitude lower; Fabric 1,222 tx/s at 1.9 s latency.
 
+Load is open-loop (seeded Poisson arrivals, the paper's methodology):
+offered rate never throttles to the service, so the top points sit at
+the saturation knee.  ``bench_pr3_cpu_model.py`` sweeps the same curve
+*past* the knee and reports per-lane CPU utilization.
+
 Set ``BENCH_SMOKE=1`` to run with tiny parameters (CI): the curves shrink
 to one low-load point each and the paper-shape assertions are skipped —
 only "the pipeline runs end to end and commits transactions" is checked.

@@ -5,7 +5,8 @@ HotStuff 340 ms / 393 ms in 4.5 round trips.
 
 Beyond the paper's 3-region table, this file exercises the pluggable
 topology knobs: a 5-region intercontinental matrix, an asymmetric-link
-variant, and a transient region partition that heals mid-run.
+variant, and a transient region partition that heals mid-run.  Clients
+are open-loop with seeded Poisson arrivals throughout.
 """
 
 from repro.bench import run_hotstuff_point, run_iaccf_point, wan_sites
@@ -37,7 +38,7 @@ def test_tab2_wan_latency(once):
             rate=500, n_replicas=4, params=HotStuffParams(batch_size=100),
             costs=AZURE_WAN, latency=wan_latency(),
             sites=wan_sites(4), client_site=REGIONS_WAN[0],
-            duration=2.0, warmup=0.5,
+            duration=2.0, warmup=0.5, arrival="poisson",
         )
         return iaccf, hotstuff
 

@@ -18,13 +18,21 @@ BASE = dict(
 )
 
 # (label, params overrides (cumulative), workload, accounts, offered rate)
+# Offered rates sit at (or just below) each variant's saturation knee:
+# the open-loop generator degrades goodput *past* the knee instead of
+# clamping at it, so measuring above the knee would understate capacity.
+# Under the multi-lane CPU model the (a)-(d) knees compress toward one
+# another: stripping receipts/checkpoints/KV-size frees lanes that were
+# never the binding constraint (the knee is pipeline/verification-bound),
+# while stripping client-signature verification (e) still more than
+# doubles capacity — the paper's headline jump.
 VARIANTS = [
-    ("(a) full IA-CCF", {}, "smallbank", 500_000, 48_000),
-    ("(b) no receipts", {"receipts": False}, "smallbank", 500_000, 52_000),
-    ("(c) + no checkpoints", {"checkpoints": False}, "smallbank", 500_000, 52_000),
-    ("(d) + small KV", {}, "smallbank", 1_000, 56_000),
-    ("(e) + unsigned clients", {"sign_client_requests": False}, "smallbank", 1_000, 115_000),
-    ("(f) + MACs only", {"use_signatures": False}, "smallbank", 1_000, 130_000),
+    ("(a) full IA-CCF", {}, "smallbank", 500_000, 46_000),
+    ("(b) no receipts", {"receipts": False}, "smallbank", 500_000, 48_000),
+    ("(c) + no checkpoints", {"checkpoints": False}, "smallbank", 500_000, 48_000),
+    ("(d) + small KV", {}, "smallbank", 1_000, 50_000),
+    ("(e) + unsigned clients", {"sign_client_requests": False}, "smallbank", 1_000, 105_000),
+    ("(f) + MACs only", {"use_signatures": False}, "smallbank", 1_000, 110_000),
     ("(g) + no ledger", {"ledger": False}, "smallbank", 1_000, 135_000),
     ("(h) + empty requests", {"execute_transactions": False}, "empty", 1_000, 300_000),
 ]

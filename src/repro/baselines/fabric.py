@@ -38,7 +38,7 @@ class FabricParams:
     validation_parallel: bool = False  # Fabric 2.2 validates sequentially per block
     kv_ops_per_tx: int = 3
     validation_overhead: float = 400e-6  # endorsement policy eval + (un)marshaling per tx
-    
+
 
 class FabricPeer(Node):
     """An endorsing + committing peer."""
@@ -52,7 +52,14 @@ class FabricPeer(Node):
         site: str = "local",
         store_size: int = 500_000,
     ) -> None:
-        super().__init__(address=f"fabric-peer-{peer_id}", site=site)
+        # Fabric 2.2 validates blocks sequentially: unless the (what-if)
+        # ``validation_parallel`` knob is on, endorsement checks are
+        # pinned to the execute lane rather than fanning out.
+        policies = None if params.validation_parallel else {"verify": 1}
+        super().__init__(
+            address=f"fabric-peer-{peer_id}", site=site,
+            cores=costs.cores, cpu_policies=policies,
+        )
         self.id = peer_id
         self.params = params
         self.costs = costs
@@ -60,13 +67,13 @@ class FabricPeer(Node):
         self.store_size = store_size
 
     def on_message(self, src: str, msg: Any) -> None:
-        self.charge(self.costs.message_overhead + self.costs.mac)
+        self.submit("message", self.costs.message_overhead + self.costs.mac)
         kind = msg[0]
         if kind == "endorse":
             # Simulate execution and sign the result — one signature per
             # transaction, Fabric's execute-order-validate cost.
-            self.charge(self.costs.execute_tx(self.params.kv_ops_per_tx, self.store_size))
-            self.charge(self.costs.sign)
+            self.submit("execute", self.costs.execute_tx(self.params.kv_ops_per_tx, self.store_size))
+            self.submit("sign", self.costs.sign)
             self.metrics.bump("endorsements")
             self.send(src, ("endorsement", msg[1], self.id))
         elif kind == "block":
@@ -74,17 +81,23 @@ class FabricPeer(Node):
 
     def _validate_block(self, src: str, msg: tuple) -> None:
         """The validate phase: per-transaction signature checks (serial in
-        Fabric 2.2) plus slow KV writes."""
+        Fabric 2.2) plus slow KV writes.  The what-if
+        ``validation_parallel`` knob releases the block's endorsement
+        checks together so they fan out across lanes; otherwise they
+        chain one after another like everything else in the loop (the
+        activity frontier serializes looped submits regardless of lane
+        policy)."""
         txs = msg[1]  # tuples of (tx_id, client, submitted_at)
         verify = self.costs.verify * self.params.endorsements_required
-        if self.params.validation_parallel:
-            verify = self.costs.parallel(verify)
         kv_write = self.costs.kv_op(self.store_size) * self.params.kv_slowdown
+        if self.params.validation_parallel and txs:
+            self.submit_many("verify", [verify] * len(txs))
         for _ in txs:
-            self.charge(verify)
-            self.charge(self.params.validation_overhead)  # endorsement policy eval
-            self.charge(self.costs.hash_fixed)  # MVCC read-set check
-            self.charge(kv_write * self.params.kv_ops_per_tx)
+            if not self.params.validation_parallel:
+                self.submit("verify", verify)
+            self.submit("execute", self.params.validation_overhead)  # endorsement policy eval
+            self.submit("hash", self.costs.hash_fixed)  # MVCC read-set check
+            self.submit("append", kv_write * self.params.kv_ops_per_tx)
         self.metrics.bump("blocks_validated")
         self.metrics.throughput.record_commit(self.cpu_time(), len(txs))
         if self.id == 0:  # one peer delivers commit events to clients
@@ -108,7 +121,7 @@ class FabricOrderer(Node):
         metrics: MetricsCollector | None = None,
         site: str = "local",
     ) -> None:
-        super().__init__(address="fabric-orderer", site=site)
+        super().__init__(address="fabric-orderer", site=site, cores=costs.cores)
         self.params = params
         self.costs = costs
         self.n_followers = n_followers
@@ -118,12 +131,12 @@ class FabricOrderer(Node):
         self._cut_timer: int | None = None
 
     def on_message(self, src: str, msg: Any) -> None:
-        self.charge(self.costs.message_overhead + self.costs.mac)
+        self.submit("message", self.costs.message_overhead + self.costs.mac)
         if msg[0] != "submit":
             return
         tx_id, client, submitted_at = msg[1], msg[2], msg[3]
         # Raft append + replication to followers (MACs, no signatures).
-        self.charge(self.costs.ledger_append + self.n_followers * self.costs.mac)
+        self.submit("append", self.costs.ledger_append + self.n_followers * self.costs.mac)
         self.pending.append((tx_id, client, submitted_at))
         self.metrics.bump("ordered")
         if len(self.pending) >= self.params.block_max_size:
@@ -161,13 +174,17 @@ class FabricClient(Node):
         metrics: MetricsCollector | None = None,
         site: str = "local",
         stop_at: float | None = None,
+        arrivals=None,
     ) -> None:
         super().__init__(address=name, site=site)
+        from ..workloads.loadgen import default_arrivals
+
         self.endorsers = endorsers
         self.orderer = orderer
         self.params = params
         self.costs = costs
         self.rate = rate
+        self.arrivals = default_arrivals(arrivals, rate)
         self.metrics = metrics or MetricsCollector()
         self.stop_at = stop_at
         self.recording = True
@@ -176,19 +193,19 @@ class FabricClient(Node):
         self.completed = 0
 
     def on_start(self) -> None:
-        if self.rate > 0:
+        if self.arrivals is not None:
             self.set_timer(0.0, self._tick)
 
     def _tick(self) -> None:
         if self.stop_at is not None and self.now >= self.stop_at:
             return
-        tick_span = max(1.0 / self.rate, 1e-3)
-        for _ in range(max(1, round(tick_span * self.rate))):
+        for _ in range(self.arrivals.due(self.now)):
             self._counter += 1
             self._waiting[self._counter] = (self.now, set())
+            self.metrics.offered.record(self.now)
             for endorser in self.endorsers[: self.params.endorsements_required]:
                 self.send(endorser, ("endorse", self._counter), size=128)
-        self.set_timer(tick_span, self._tick)
+        self.set_timer(self.arrivals.delay_until_next(self.now), self._tick)
 
     def on_message(self, src: str, msg: Any) -> None:
         kind = msg[0]
@@ -208,6 +225,7 @@ class FabricClient(Node):
                     self.completed += 1
                     if self.recording:
                         self.metrics.latency.record(self.now - submitted_at)
+                        self.metrics.goodput.record(self.now)
 
 
 @dataclass
@@ -243,7 +261,7 @@ class FabricDeployment:
         self.net.register(self.orderer)
         self.clients: list[FabricClient] = []
 
-    def add_client(self, rate: float, stop_at: float | None = None) -> FabricClient:
+    def add_client(self, rate: float, stop_at: float | None = None, arrivals=None) -> FabricClient:
         client = FabricClient(
             name=f"fabric-client-{len(self.clients)}",
             endorsers=[p.address for p in self.peers],
@@ -253,6 +271,7 @@ class FabricDeployment:
             rate=rate,
             metrics=MetricsCollector(),
             stop_at=stop_at,
+            arrivals=arrivals,
         )
         self.net.register(client)
         self.clients.append(client)

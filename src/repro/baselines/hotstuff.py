@@ -66,7 +66,7 @@ class HotStuffReplica(Node):
         site: str = "local",
         backend: signatures.SignatureBackend | None = None,
     ) -> None:
-        super().__init__(address=f"hs-replica-{replica_id}", site=site)
+        super().__init__(address=f"hs-replica-{replica_id}", site=site, cores=costs.cores)
         self.id = replica_id
         self.n = n_replicas
         self.f = (n_replicas + 2) // 3 - 1
@@ -86,7 +86,7 @@ class HotStuffReplica(Node):
         return [f"hs-replica-{i}" for i in range(self.n) if i != self.id]
 
     def on_message(self, src: str, msg: Any) -> None:
-        self.charge(self.costs.message_overhead + self.costs.mac)
+        self.submit("message", self.costs.message_overhead + self.costs.mac)
         kind = msg[0]
         if kind == "cmds":
             self._handle_commands(src, msg)
@@ -102,14 +102,19 @@ class HotStuffReplica(Node):
         clients pipeline many outstanding commands per connection)."""
         if not self.is_leader:
             return
+        accepted = 0
         for cmd_id in msg[1]:
             if len(self.pending) >= 8 * self.params.batch_size:
                 self.metrics.bump("cmds_shed")
                 break  # bounded admission queue
-            self.charge(self.params.per_command_cost)
-            if self.params.sign_client_requests:
-                self.charge(self.costs.parallel(self.costs.verify))
             self.pending.append((cmd_id, src, self.now))
+            accepted += 1
+        if accepted:
+            self.submit("message", accepted * self.params.per_command_cost)
+            if self.params.sign_client_requests:
+                # The bundle's client signatures arrive together: release
+                # them as one batch so they fan out across lanes.
+                self.submit_many("verify", [self.costs.verify] * accepted)
         self._maybe_propose()
 
     def _maybe_propose(self) -> None:
@@ -125,7 +130,7 @@ class HotStuffReplica(Node):
         self.next_height += 1
         self.awaiting_qc = True
         # Sign the proposal (carrying the parent's QC).
-        self.charge(self.costs.sign)
+        self.submit("sign", self.costs.sign)
         payload = ("propose", height, len(cmds), digest_value((height, len(cmds))))
         self.broadcast(self.peer_addresses(), payload, size=64 + 80 * max(1, len(cmds)))
         self.metrics.bump("blocks_proposed")
@@ -137,8 +142,8 @@ class HotStuffReplica(Node):
         block = self.blocks.get(height)
         if block is None or block.certified:
             return
-        # Verify the vote signature (parallelized across cores).
-        self.charge(self.costs.parallel(self.costs.verify))
+        # Verify the vote signature (fans out across CPU lanes).
+        self.submit("verify", self.costs.verify)
         self.metrics.bump("votes_verified")
         block.votes.add(voter)
         if len(block.votes) >= self.quorum:
@@ -169,16 +174,18 @@ class HotStuffReplica(Node):
     def _handle_proposal(self, src: str, msg: tuple) -> None:
         height, n_cmds = msg[1], msg[2]
         # Verify the leader's signature and the embedded QC.
-        self.charge(self.costs.parallel(self.costs.verify) * 2)
-        self.charge(self.params.per_command_cost * n_cmds / 8)
+        self.submit_many("verify", [self.costs.verify] * 2)
+        self.submit("message", self.params.per_command_cost * n_cmds / 8)
         # Sign and return a vote.
-        self.charge(self.costs.sign)
+        self.submit("sign", self.costs.sign)
         self.send(src, ("vote", height, self.id))
         self.metrics.bump("votes_sent")
 
 
 class HotStuffClient(Node):
-    """Open-loop client for the HotStuff baseline."""
+    """Open-loop client for the HotStuff baseline: commands arrive per a
+    seeded :class:`~repro.workloads.loadgen.ArrivalProcess` (default:
+    fixed-rate) and are pipelined to the leader in per-tick bundles."""
 
     def __init__(
         self,
@@ -188,10 +195,14 @@ class HotStuffClient(Node):
         metrics: MetricsCollector | None = None,
         site: str = "local",
         stop_at: float | None = None,
+        arrivals=None,
     ) -> None:
         super().__init__(address=name, site=site)
+        from ..workloads.loadgen import default_arrivals
+
         self.leader = leader
         self.rate = rate
+        self.arrivals = default_arrivals(arrivals, rate)
         self.metrics = metrics or MetricsCollector()
         self.stop_at = stop_at
         self.recording = True
@@ -199,18 +210,19 @@ class HotStuffClient(Node):
         self.completed = 0
 
     def on_start(self) -> None:
-        if self.rate > 0:
+        if self.arrivals is not None:
             self.set_timer(0.0, self._tick)
 
     def _tick(self) -> None:
         if self.stop_at is not None and self.now >= self.stop_at:
             return
-        tick_span = max(1.0 / self.rate, 1e-3)
-        due = max(1, round(tick_span * self.rate))
-        bundle = tuple(range(self._counter + 1, self._counter + 1 + due))
-        self._counter += due
-        self.send(self.leader, ("cmds", bundle), size=32 + 96 * due)
-        self.set_timer(tick_span, self._tick)
+        due = self.arrivals.due(self.now)
+        if due:
+            bundle = tuple(range(self._counter + 1, self._counter + 1 + due))
+            self._counter += due
+            self.metrics.offered.record(self.now, due)
+            self.send(self.leader, ("cmds", bundle), size=32 + 96 * due)
+        self.set_timer(self.arrivals.delay_until_next(self.now), self._tick)
 
     def on_message(self, src: str, msg: Any) -> None:
         if msg[0] != "reply":
@@ -219,6 +231,7 @@ class HotStuffClient(Node):
             self.completed += 1
             if self.recording:
                 self.metrics.latency.record(self.now - submitted_at)
+                self.metrics.goodput.record(self.now)
 
 
 @dataclass
@@ -250,7 +263,9 @@ class HotStuffDeployment:
             self.replicas.append(replica)
         self.clients: list[HotStuffClient] = []
 
-    def add_client(self, rate: float, site: str = "local", stop_at: float | None = None) -> HotStuffClient:
+    def add_client(
+        self, rate: float, site: str = "local", stop_at: float | None = None, arrivals=None
+    ) -> HotStuffClient:
         client = HotStuffClient(
             name=f"hs-client-{len(self.clients)}",
             leader="hs-replica-0",
@@ -258,6 +273,7 @@ class HotStuffDeployment:
             metrics=MetricsCollector(),
             site=site,
             stop_at=stop_at,
+            arrivals=arrivals,
         )
         self.net.register(client)
         self.clients.append(client)

@@ -47,7 +47,7 @@ class PompeReplica(Node):
         metrics: MetricsCollector | None = None,
         site: str = "local",
     ) -> None:
-        super().__init__(address=f"pompe-replica-{replica_id}", site=site)
+        super().__init__(address=f"pompe-replica-{replica_id}", site=site, cores=costs.cores)
         self.id = replica_id
         self.n = n_replicas
         self.f = (n_replicas + 2) // 3 - 1
@@ -65,12 +65,12 @@ class PompeReplica(Node):
         return [f"pompe-replica-{i}" for i in range(self.n) if i != self.id]
 
     def on_message(self, src: str, msg: Any) -> None:
-        self.charge(self.costs.message_overhead + self.costs.mac)
+        self.submit("message", self.costs.message_overhead + self.costs.mac)
         kind = msg[0]
         if kind == "order":
             # Ordering phase: timestamp + sign one batch of commands.
-            self.charge(self.costs.sign)
-            self.charge(self.params.per_command_cost * msg[2] / 8)
+            self.submit("sign", self.costs.sign)
+            self.submit("message", self.params.per_command_cost * msg[2] / 8)
             self.send(src, ("ordered", msg[1], self.id))
         elif kind == "cert" and self.is_leader:
             # An ordering certificate: 2f+1 signed timestamps; the leader
@@ -78,13 +78,13 @@ class PompeReplica(Node):
             if len(self.pending) >= 8 * self.params.batch_size:
                 self.metrics.bump("certs_shed")
                 return
-            self.charge(self.costs.parallel(self.costs.verify) * self.quorum / 4)
-            self.charge(self.params.per_command_cost * msg[2])
+            self.submit("verify", self.costs.verify * self.quorum / 4)
+            self.submit("message", self.params.per_command_cost * msg[2])
             self.pending.append((msg[1], src, msg[3], msg[2]))
             self._maybe_propose()
         elif kind == "propose":
-            self.charge(self.costs.parallel(self.costs.verify) * 2)
-            self.charge(self.costs.sign)
+            self.submit_many("verify", [self.costs.verify] * 2)
+            self.submit("sign", self.costs.sign)
             self.send(src, ("vote", msg[1], self.id))
         elif kind == "vote" and self.is_leader:
             self._handle_vote(msg)
@@ -98,7 +98,7 @@ class PompeReplica(Node):
         self.blocks[height] = {"certs": certs, "votes": {self.id}, "committed": False}
         self.next_height += 1
         self.awaiting_qc = True
-        self.charge(self.costs.sign)
+        self.submit("sign", self.costs.sign)
         n_cmds = sum(c[3] for c in certs)
         self.broadcast(self.peer_addresses(), ("propose", height), size=64 + 48 * max(1, len(certs)))
         self.metrics.bump("blocks_proposed")
@@ -108,7 +108,7 @@ class PompeReplica(Node):
         block = self.blocks.get(height)
         if block is None:
             return
-        self.charge(self.costs.parallel(self.costs.verify))
+        self.submit("verify", self.costs.verify)
         block["votes"].add(voter)
         if len(block["votes"]) >= self.quorum and self.awaiting_qc:
             self.awaiting_qc = False
@@ -141,14 +141,18 @@ class PompeClient(Node):
         metrics: MetricsCollector | None = None,
         site: str = "local",
         stop_at: float | None = None,
+        arrivals=None,
     ) -> None:
         super().__init__(address=name, site=site)
+        from ..workloads.loadgen import default_arrivals
+
         self.n = n_replicas
         self.f = (n_replicas + 2) // 3 - 1
         self.quorum = n_replicas - self.f
         self.params = params
         self.costs = costs
         self.rate = rate
+        self.arrivals = default_arrivals(arrivals, rate)
         self.metrics = metrics or MetricsCollector()
         self.stop_at = stop_at
         self.recording = True
@@ -160,20 +164,24 @@ class PompeClient(Node):
         return [f"pompe-replica-{i}" for i in range(self.n)]
 
     def on_start(self) -> None:
-        if self.rate > 0:
+        if self.arrivals is not None:
             self.set_timer(0.0, self._tick)
 
     def _tick(self) -> None:
         if self.stop_at is not None and self.now >= self.stop_at:
             return
-        tick_span = max(self.params.ordering_batch / self.rate, 1e-3)
-        n_cmds = max(1, round(tick_span * self.rate))
-        self._counter += 1
-        self._pending_order[self._counter] = (self.now, set(), n_cmds)
-        # Ordering phase: request timestamps from 2f+1 replicas.
-        for address in self.replica_addresses()[: self.quorum]:
-            self.send(address, ("order", self._counter, n_cmds), size=64 + 32 * n_cmds)
-        self.set_timer(tick_span, self._tick)
+        # Ticks are floored at the ordering-batch span: all commands that
+        # arrived since the last tick share one timestamp certificate.
+        min_tick = max(self.params.ordering_batch / self.rate, 1e-3)
+        n_cmds = self.arrivals.due(self.now)
+        if n_cmds:
+            self._counter += 1
+            self._pending_order[self._counter] = (self.now, set(), n_cmds)
+            self.metrics.offered.record(self.now, n_cmds)
+            # Ordering phase: request timestamps from 2f+1 replicas.
+            for address in self.replica_addresses()[: self.quorum]:
+                self.send(address, ("order", self._counter, n_cmds), size=64 + 32 * n_cmds)
+        self.set_timer(self.arrivals.delay_until_next(self.now, min_tick), self._tick)
 
     def on_message(self, src: str, msg: Any) -> None:
         kind = msg[0]
@@ -195,6 +203,7 @@ class PompeClient(Node):
             self.completed += n_cmds
             if self.recording:
                 self.metrics.latency.record(self.now - submitted_at)
+                self.metrics.goodput.record(self.now, n_cmds)
 
 
 @dataclass
@@ -222,7 +231,7 @@ class PompeDeployment:
             self.replicas.append(replica)
         self.clients: list[PompeClient] = []
 
-    def add_client(self, rate: float, stop_at: float | None = None) -> PompeClient:
+    def add_client(self, rate: float, stop_at: float | None = None, arrivals=None) -> PompeClient:
         client = PompeClient(
             name=f"pompe-client-{len(self.clients)}",
             n_replicas=self.n_replicas,
@@ -231,6 +240,7 @@ class PompeDeployment:
             rate=rate,
             metrics=MetricsCollector(),
             stop_at=stop_at,
+            arrivals=arrivals,
         )
         self.net.register(client)
         self.clients.append(client)

@@ -26,6 +26,7 @@ from ..workloads import (
     EmptyWorkload,
     SmallBankWorkload,
     initial_state,
+    make_arrivals,
     register_noop,
     register_smallbank,
 )
@@ -67,8 +68,16 @@ def run_iaccf_point(
     seed: int = 0,
     label: str = "IA-CCF",
     partition: tuple[list[int], float, float] | None = None,
+    arrival: str = "poisson",
+    lane_metrics: bool = False,
 ) -> BenchPoint:
     """Measure IA-CCF (or a feature variant of it) at one offered load.
+
+    ``arrival`` picks the open-loop arrival process (``"poisson"``, the
+    paper-style default, or ``"fixed"``), seeded with ``seed``.
+    ``lane_metrics`` enables CPU trace recording on the primary and
+    reports exact per-lane utilization over the measurement window
+    (``extra["lane_utilization"]``).
 
     ``partition`` — ``(isolated_replica_ids, start, duration)`` — schedules
     a transient partition during the run (WAN outage scenarios); it heals
@@ -97,10 +106,12 @@ def run_iaccf_point(
     )
     load = dep.add_load_generator(
         wl, rate=rate, site=client_site, stop_at=duration, verify_receipts=False,
-        retry_timeout=10.0,
+        retry_timeout=10.0, arrivals=make_arrivals(arrival, rate, seed),
     )
     load.recording = False
     primary_metrics = dep.metrics
+    if lane_metrics:
+        dep.replicas[0].cpu.trace = []
     dep.start()
     if partition is not None:
         isolated_ids, p_start, p_duration = partition
@@ -108,14 +119,30 @@ def run_iaccf_point(
     dep.net.scheduler.after(warmup, lambda: _open_window(primary_metrics, load))
     dep.net.scheduler.at(duration, lambda: _close_window(primary_metrics, load))
     dep.run(until=duration + 0.2)
+    if lane_metrics:
+        primary_metrics.record_lane_utilization(
+            dep.replicas[0].cpu.utilization_between(warmup, duration)
+        )
     summary = primary_metrics.summary()
     lat = load.metrics.latency
     extra = {
         "committed": summary["committed"],
         "counters": summary["counters"],
         "submitted": load.submitted,
+        "offered_tps": load.metrics.offered.throughput(),
+        "goodput_tps": load.metrics.goodput.throughput(),
         "messages_dropped": dep.net.messages_dropped,
     }
+    if primary_metrics.queue_delay.count:
+        extra["queue_delay_p90_ms"] = primary_metrics.queue_delay.p90() * 1e3
+    if lane_metrics:
+        extra["lane_utilization"] = [
+            round(u, 4) for u in primary_metrics.lane_utilization
+        ]
+        extra["cpu_busy_by_kind"] = {
+            kind: round(seconds, 6)
+            for kind, seconds in sorted(dep.replicas[0].cpu.busy_by_kind().items())
+        }
     if dep.verify_cache is not None:
         extra["verify_cache"] = {
             "hits": dep.verify_cache.stats.hits,
@@ -134,12 +161,18 @@ def run_iaccf_point(
 
 
 def _open_window(metrics, load) -> None:
-    metrics.throughput.start_window(metrics_now(load))
+    now = metrics_now(load)
+    metrics.throughput.start_window(now)
+    load.metrics.offered.start_window(now)
+    load.metrics.goodput.start_window(now)
     load.recording = True
 
 
 def _close_window(metrics, load) -> None:
-    metrics.throughput.end_window(metrics_now(load))
+    now = metrics_now(load)
+    metrics.throughput.end_window(now)
+    load.metrics.offered.end_window(now)
+    load.metrics.goodput.end_window(now)
     load.recording = False
 
 
@@ -158,6 +191,8 @@ def run_hotstuff_point(
     sites: dict | None = None,
     client_site: str = "local",
     label: str = "HotStuff",
+    arrival: str = "fixed",
+    seed: int = 0,
 ) -> BenchPoint:
     dep = HotStuffDeployment(
         n_replicas=n_replicas,
@@ -166,7 +201,10 @@ def run_hotstuff_point(
         latency=latency or cluster_latency(),
         sites=sites or {},
     )
-    client = dep.add_client(rate=rate, site=client_site, stop_at=duration)
+    client = dep.add_client(
+        rate=rate, site=client_site, stop_at=duration,
+        arrivals=make_arrivals(arrival, rate, seed),
+    )
     client.recording = False
     dep.net.start()
     dep.net.scheduler.after(warmup, lambda: _open_window(dep.metrics, client))
@@ -193,6 +231,8 @@ def run_fabric_point(
     warmup: float = 1.0,
     accounts: int = 500_000,
     label: str = "Fabric 2.2",
+    arrival: str = "fixed",
+    seed: int = 0,
 ) -> BenchPoint:
     dep = FabricDeployment(
         n_peers=n_peers,
@@ -201,7 +241,9 @@ def run_fabric_point(
         latency=latency or cluster_latency(),
         store_size=accounts,
     )
-    client = dep.add_client(rate=rate, stop_at=duration)
+    client = dep.add_client(
+        rate=rate, stop_at=duration, arrivals=make_arrivals(arrival, rate, seed)
+    )
     client.recording = False
     dep.net.start()
     dep.net.scheduler.after(warmup, lambda: _open_window(dep.metrics, client))
@@ -227,6 +269,8 @@ def run_pompe_point(
     duration: float = 0.5,
     warmup: float = 0.15,
     label: str = "Pompe",
+    arrival: str = "fixed",
+    seed: int = 0,
 ) -> BenchPoint:
     dep = PompeDeployment(
         n_replicas=n_replicas,
@@ -234,7 +278,9 @@ def run_pompe_point(
         costs=costs or DEDICATED_CLUSTER,
         latency=latency or cluster_latency(),
     )
-    client = dep.add_client(rate=rate, stop_at=duration)
+    client = dep.add_client(
+        rate=rate, stop_at=duration, arrivals=make_arrivals(arrival, rate, seed)
+    )
     client.recording = False
     dep.net.start()
     dep.net.scheduler.after(warmup, lambda: _open_window(dep.metrics, client))

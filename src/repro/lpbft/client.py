@@ -143,6 +143,7 @@ class LPBFTClient(Node):
         latency = 0.0 if sent is None else self.now - sent
         if self.recording:
             self.metrics.latency.record(latency)
+            self.metrics.goodput.record(self.now)
             self.metrics.bump("receipts_completed")
         if self.on_receipt is not None:
             self.on_receipt(tx_digest, receipt, latency)
@@ -208,11 +209,16 @@ class LPBFTClient(Node):
 
 
 class LoadGenerator(LPBFTClient):
-    """Open-loop load: submits workload transactions at a target rate.
+    """Open-loop load: submits workload transactions at an offered rate
+    that never throttles to the service's capacity.
 
-    ``workload`` must provide ``next_transaction(rng) -> (procedure,
-    args)``; arrivals are deterministic at ``1 / rate`` spacing so runs
-    are reproducible.
+    ``workload`` must provide ``next_transaction() -> (procedure, args)``.
+    ``arrivals`` is an :class:`~repro.workloads.loadgen.ArrivalProcess`
+    (Poisson or fixed-rate); when omitted, arrivals default to
+    deterministic ``1 / rate`` spacing — either way runs are seeded and
+    reproducible.  Submissions are recorded into ``metrics.offered`` and
+    completed receipts into ``metrics.goodput``, so a saturation sweep
+    can report offered load vs. goodput directly.
     """
 
     def __init__(
@@ -220,14 +226,18 @@ class LoadGenerator(LPBFTClient):
         *args,
         workload=None,
         rate: float = 1000.0,
+        arrivals=None,
         start_at: float = 0.0,
         stop_at: float | None = None,
         max_in_flight: int | None = None,
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
+        from ..workloads.loadgen import default_arrivals
+
         self.workload = workload
         self.rate = rate
+        self.arrivals = default_arrivals(arrivals, rate)
         self.start_at = start_at
         self.stop_at = stop_at
         self.max_in_flight = max_in_flight
@@ -235,21 +245,19 @@ class LoadGenerator(LPBFTClient):
 
     def on_start(self) -> None:
         super().on_start()
-        if self.workload is not None and self.rate > 0:
+        if self.workload is not None and self.arrivals is not None:
             self.set_timer(max(0.0, self.start_at - self.now), self._tick)
 
     def _tick(self) -> None:
         if self.stop_at is not None and self.now >= self.stop_at:
             return
-        interval = 1.0 / self.rate
-        # Submit every transaction due in this tick (ticks are batched at
-        # 1 ms granularity to keep the event count manageable at high rates).
-        tick_span = max(interval, 1e-3)
-        due = max(1, round(tick_span * self.rate))
-        for _ in range(due):
+        # Submit every arrival due by now (wake-ups are floored at 1 ms
+        # so high offered rates batch instead of flooding the event queue).
+        for _ in range(self.arrivals.due(self.now)):
             if self.max_in_flight is not None and self.pending_count() >= self.max_in_flight:
                 break
             procedure, args = self.workload.next_transaction()
             self.submit(procedure, args, min_index=0)
             self.submitted += 1
-        self.set_timer(tick_span, self._tick)
+            self.metrics.offered.record(self.now)
+        self.set_timer(self.arrivals.delay_until_next(self.now), self._tick)

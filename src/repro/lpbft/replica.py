@@ -16,6 +16,16 @@ current configuration tracks the ledger but emits nothing), and retiring
 roles; the active configuration per sequence number comes from the
 replica's :class:`~repro.governance.schedule.ConfigSchedule`.
 
+CPU accounting is staged: the hot path submits typed work items to the
+replica's multi-lane :class:`~repro.sim.cpu.VirtualCPU` — client-signature
+checks and evidence bundles fan out as ``verify`` items across all lanes
+(:meth:`LPBFTReplicaCore._verify_many`), transaction execution is a
+serial ``execute`` stage on a dedicated lane
+(:meth:`LPBFTReplicaCore._execute_batch`), ledger writes are ``append``
+items on the ledger lane, and Merkle/checkpoint hashing is parallel
+``hash`` work.  Stages of different batches (and of verification vs.
+execution) overlap exactly as lane availability allows.
+
 View changes (Alg. 2) and state sync live in
 :class:`~repro.lpbft.viewchange.ViewChangeMixin`; the deployable replica
 is :class:`~repro.lpbft.LPBFTReplica`.
@@ -166,11 +176,14 @@ class LPBFTReplicaCore(Node):
         initial_state: tuple[dict, int] | None = None,
         verify_cache: signatures.SignatureVerifyCache | None = None,
     ) -> None:
-        super().__init__(address=f"replica-{replica_id}", site=site)
+        costs = costs or CostModel()
+        # One CPU lane per core: verification fans out across lanes,
+        # execution/ledger appends stay serial on dedicated lanes (§3.4).
+        super().__init__(address=f"replica-{replica_id}", site=site, cores=costs.cores)
         self.id = replica_id
         self.keypair = keypair
         self.params = params
-        self.costs = costs or CostModel()
+        self.costs = costs
         self.metrics = metrics or MetricsCollector()
         self.behavior = behavior
         self.backend = backend or signatures.default_backend()
@@ -211,6 +224,7 @@ class LPBFTReplicaCore(Node):
         self.requests: dict[Digest, TransactionRequest] = {}  # T
         self.request_order: list[Digest] = []
         self.request_sources: dict[Digest, str] = {}
+        self.request_arrivals: dict[Digest, float] = {}  # admission time, for queue delay
         self.batches: dict[int, BatchRecord] = {}
         self.pps: dict[tuple[int, int], PrePrepare] = {}
         self.ppd_index: dict[Digest, tuple[int, int]] = {}
@@ -286,19 +300,19 @@ class LPBFTReplicaCore(Node):
 
     def _sign(self, payload: bytes) -> bytes:
         if not self.params.use_signatures:
-            self.charge(self.costs.mac)
+            self.submit("sign", self.costs.mac)
             return b""
-        self.charge(self.costs.sign)
+        self.submit("sign", self.costs.sign)
         self.metrics.bump("signatures_created")
         return self.backend.sign(self.keypair, payload)
 
     def _verify(self, public_key: bytes, payload: bytes, signature: bytes) -> bool:
         if not self.params.use_signatures:
-            self.charge(self.costs.mac)
+            self.submit("sign", self.costs.mac)
             return True
         # Signature checking is parallelized across the machine's cores
-        # (§3.4 "Cryptography"), so the serial CPU is charged 1/cores.
-        self.charge(self.costs.parallel(self.costs.verify))
+        # (§3.4 "Cryptography"): the item lands on the earliest-free lane.
+        self.submit("verify", self.costs.verify)
         self.metrics.bump("signatures_verified")
         if self.verify_cache is not None:
             return self.verify_cache.verify(public_key, payload, signature, self.backend)
@@ -307,13 +321,15 @@ class LPBFTReplicaCore(Node):
     def _verify_many(self, items: list[tuple[bytes, bytes, bytes]]) -> list[bool]:
         """Batched :meth:`_verify` over (key, payload, sig) triples —
         one call into the crypto layer for message sets that arrive
-        together (evidence bundles, view-change certificates)."""
+        together (evidence bundles, view-change certificates).  The
+        verification stage fans out across the CPU's lanes and joins on
+        the last item — the caller consumes all the verdicts."""
         if not items:
             return []
         if not self.params.use_signatures:
-            self.charge(len(items) * self.costs.mac)
+            self.submit("sign", len(items) * self.costs.mac)
             return [True] * len(items)
-        self.charge(len(items) * self.costs.parallel(self.costs.verify))
+        self.submit_many("verify", [self.costs.verify] * len(items))
         self.metrics.bump("signatures_verified", len(items))
         if not self.params.batch_verify:
             if self.verify_cache is not None:
@@ -336,13 +352,13 @@ class LPBFTReplicaCore(Node):
             raise ProtocolError(f"malformed message from {src!r}")
         kind = msg[0]
         # Channel authentication: all traffic is MAC'd (§3.4).
-        self.charge(self.costs.message_overhead + self.costs.mac)
+        self.submit("message", self.costs.message_overhead + self.costs.mac)
         self.metrics.bump("messages_received")
         if self.params.peer_review and kind in _PEER_REVIEW_ACKED:
             # PeerReview baseline: sign an acknowledgement for every
             # protocol message (§6.1); the ack is a real message so the
             # extra network load is modeled too.
-            self.charge(self.costs.sign)
+            self.submit("sign", self.costs.sign)
             self.send(src, ("ack", digest_value((kind, self.id))))
         handler_name = self._DISPATCH.get(kind)
         if handler_name is None:
@@ -373,6 +389,7 @@ class LPBFTReplicaCore(Node):
                 return
         self.requests[tx_digest] = request
         self.request_order.append(tx_digest)
+        self.request_arrivals.setdefault(tx_digest, self.now)
         if record_source:
             self.request_sources[tx_digest] = src
         if self.is_primary() and self.ready:
@@ -564,7 +581,7 @@ class LPBFTReplicaCore(Node):
         self.ledger.append(evidence)
         self.ledger.append(nonces)
         if self.params.ledger:
-            self.charge(2 * self.costs.ledger_append)
+            self.submit("append", 2 * self.costs.ledger_append)
         return nonces.bitmap
 
     def _append_given_evidence(self, pair: tuple[EvidenceEntry, NoncesEntry] | None) -> int:
@@ -574,7 +591,7 @@ class LPBFTReplicaCore(Node):
         self.ledger.append(evidence)
         self.ledger.append(nonces)
         if self.params.ledger:
-            self.charge(2 * self.costs.ledger_append)
+            self.submit("append", 2 * self.costs.ledger_append)
         return nonces.bitmap
 
     # -- shared early execution --------------------------------------------------------
@@ -617,6 +634,11 @@ class LPBFTReplicaCore(Node):
             self.cp_directory.note_record(s, cp_seqno, cp.digest())
 
         for request, tx_digest in zip(request_list, tx_digests):
+            arrival = self.request_arrivals.pop(tx_digest, None)
+            if arrival is not None:
+                # Time spent queued between admission and execution — the
+                # congestion signal open-loop saturation sweeps read.
+                self.metrics.queue_delay.record(self.now - arrival)
             output = self._execute_request(request)
             if self.behavior is not None:
                 output = self.behavior.mutate_output(self, request, output)
@@ -638,7 +660,9 @@ class LPBFTReplicaCore(Node):
         if not self.params.execute_transactions:
             return {"reply": {"ok": True}, "ws": EMPTY_WS}
         output, ops = execute_procedure(self.kv, self.registry, request)
-        self.charge(self.costs.execute_tx(ops, len(self.kv)))
+        # Execution is single-threaded (its lane is dedicated): batches
+        # can overlap verification and message handling, never each other.
+        self.submit("execute", self.costs.execute_tx(ops, len(self.kv)))
         self.metrics.bump("transactions_executed")
         return output
 
@@ -688,7 +712,9 @@ class LPBFTReplicaCore(Node):
             else:
                 self.ledger.append(TxEntry(request_wire=request_wire, index=index, output=output))
         if self.params.ledger:
-            self.charge((1 + len(record.tios)) * (self.costs.ledger_append + 2 * self.costs.hash_fixed))
+            entries = 1 + len(record.tios)
+            self.submit("append", entries * self.costs.ledger_append)
+            self.submit("hash", entries * 2 * self.costs.hash_fixed)
         record.ledger_end = len(self.ledger)
         self.batches[record.seqno] = record
         self.pps[(record.view, record.seqno)] = pp
@@ -853,6 +879,7 @@ class LPBFTReplicaCore(Node):
             if tx_digest not in self.requests:
                 self.requests[tx_digest] = TransactionRequest.from_wire(tio[0])
                 self.request_order.append(tx_digest)
+                self.request_arrivals.setdefault(tx_digest, self.now)
 
     # -- prepares and commits (Alg. 1 lines 27–41) -----------------------------------------
 
@@ -902,7 +929,7 @@ class LPBFTReplicaCore(Node):
             return
         primary_id = config.primary_for_view(commit.view)
         commitment = commit_nonce(commit.nonce)
-        self.charge(self.costs.hash_fixed)
+        self.submit("hash", self.costs.hash_fixed)
         if commit.replica == primary_id:
             if commitment != pp.nonce_commitment:
                 self.metrics.bump("bad_commit_nonces")
@@ -999,7 +1026,7 @@ class LPBFTReplicaCore(Node):
             signature = own_prepare.signature
         if self.params.peer_review:
             # PeerReview: a signed reply per transaction, not per batch.
-            self.charge(self.costs.sign * max(1, record.request_count()))
+            self.submit("sign", self.costs.sign * max(1, record.request_count()))
         reply = Reply(
             view=record.view,
             seqno=record.seqno,
@@ -1029,7 +1056,7 @@ class LPBFTReplicaCore(Node):
         self, record: BatchRecord, position: int, tio: tuple, tx_digest: Digest, dst: str
     ) -> None:
         path = record.g_tree.path(position)
-        self.charge(len(path) * self.costs.hash_fixed)
+        self.submit("hash", len(path) * self.costs.hash_fixed)
         replyx = ReplyX(
             view=record.view,
             seqno=record.seqno,
@@ -1101,7 +1128,7 @@ class LPBFTReplicaCore(Node):
                 target = tio
         if position is None or target is None:
             return
-        self.charge(len(g_tree) * self.costs.hash_fixed)
+        self.submit("hash", len(g_tree) * self.costs.hash_fixed)
         path = g_tree.path(position)
         replyx = ReplyX(
             view=pp.view,
@@ -1135,7 +1162,7 @@ class LPBFTReplicaCore(Node):
         )
         if not (due_interval or due_activation):
             return
-        self.charge(len(self.kv) * self.costs.checkpoint_per_entry)
+        self.submit("hash", len(self.kv) * self.costs.checkpoint_per_entry)
         self.checkpoints[s] = Checkpoint.capture(self.kv, s, len(self.ledger), self.ledger.root())
         self.last_taken_cp = s
         self.metrics.bump("checkpoints_taken")
@@ -1151,6 +1178,9 @@ class LPBFTReplicaCore(Node):
             record = self.batches[seqno]
             if not record.committed:
                 continue
+            for tx_digest in record.tx_digests:
+                if tx_digest is not None:
+                    self.request_arrivals.pop(tx_digest, None)
             key = (record.view, seqno)
             self.pps.pop(key, None)
             self.ppd_index.pop(record.pp_digest, None)
@@ -1378,7 +1408,7 @@ class LPBFTReplicaCore(Node):
 
     def handle_ack(self, src: str, msg: tuple) -> None:
         # PeerReview acknowledgement: verify it (cost) and log.
-        self.charge(self.costs.parallel(self.costs.verify))
+        self.submit("verify", self.costs.verify)
 
     # -- view change hooks (overridden by ViewChangeMixin) -----------------------------------
 

@@ -481,7 +481,7 @@ class ViewChangeMixin:
             # The genesis checkpoint (seqno 0) restores too: it carries any
             # pre-populated initial state that a bare config install lacks.
             checkpoint.restore_into(kv)
-            self.charge(len(checkpoint.state) * self.costs.checkpoint_per_entry)
+            self.submit("hash", len(checkpoint.state) * self.costs.checkpoint_per_entry)
         else:
             if not entries or not isinstance(entries[0], GenesisEntry):
                 raise ProtocolError("adopted ledger does not start with genesis")
@@ -534,7 +534,7 @@ class ViewChangeMixin:
                     # Replay is real CPU: catching up from an old (or no)
                     # checkpoint costs proportionally more than restoring
                     # a recent one — the §3.4 argument for checkpoints.
-                    self.charge(self.costs.execute_tx(ops, len(kv)))
+                    self.submit("execute", self.costs.execute_tx(ops, len(kv)))
                     tio = (request.to_wire(), entry.index, output)
                 else:
                     tio = entry.tio()

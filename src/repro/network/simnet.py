@@ -1,11 +1,16 @@
 """The simulated network: message delivery + per-node CPU accounting.
 
-Each :class:`Node` has an address, a site (for latency), and a CPU that
-processes one message at a time.  When a message arrives at time ``t``,
-processing starts at ``max(t, cpu_busy_until)``; the handler charges
-virtual CPU time through :meth:`Node.charge`, and messages it sends depart
-when processing completes.  This makes nodes compute-bound under load,
-which is what the paper observes ("all experiments are compute-bound").
+Each :class:`Node` has an address, a site (for latency), and a multi-lane
+:class:`~repro.sim.cpu.VirtualCPU` with one lane per core.  Handlers and
+timer callbacks run as *activities*: work is submitted as typed items
+(:meth:`Node.submit` / :meth:`Node.submit_many`), each item is placed on a
+lane per its kind's policy (verification fans out, execution stays
+serial), and the activity's *frontier* — the completion time of everything
+it has submitted so far — determines when its outgoing messages depart.
+Two activities overlap in CPU time exactly when their work lands on
+different lanes, so nodes are compute-bound under load (what the paper
+observes: "all experiments are compute-bound") without pretending a
+single serial timeline.
 
 Fault injection, applied at send time:
 
@@ -28,6 +33,7 @@ import random
 from typing import Any, Callable
 
 from ..errors import NetworkError
+from ..sim.cpu import VirtualCPU
 from ..sim.scheduler import EventScheduler
 from .latency import LatencyModel, constant_latency
 
@@ -36,16 +42,26 @@ class Node:
     """Base class for simulated network endpoints.
 
     Subclasses implement :meth:`on_message`.  Inside a handler, use
-    :meth:`charge` to account CPU cost, :meth:`send` to transmit, and
-    :meth:`set_timer` / :meth:`cancel_timer` for timeouts.
+    :meth:`submit` / :meth:`submit_many` to account typed CPU cost,
+    :meth:`send` to transmit, and :meth:`set_timer` / :meth:`cancel_timer`
+    for timeouts.  ``cores`` sizes the node's :class:`VirtualCPU`
+    (clients default to 1 — the paper scales client machines with load,
+    so they are never the bottleneck); ``cpu_policies`` overrides the
+    per-kind lane policies.
     """
 
-    def __init__(self, address: str, site: str = "local") -> None:
+    def __init__(
+        self,
+        address: str,
+        site: str = "local",
+        cores: int = 1,
+        cpu_policies: dict | None = None,
+    ) -> None:
         self.address = address
         self.site = site
         self.net: "SimNetwork | None" = None
-        self._busy_until = 0.0
-        self._pending_charge = 0.0
+        self.cpu = VirtualCPU(cores, cpu_policies)
+        self._frontier = 0.0
         self._processing = False
 
     # -- to be overridden ---------------------------------------------------
@@ -65,21 +81,55 @@ class Node:
             return 0.0
         return self.net.scheduler.now
 
-    def charge(self, seconds: float) -> None:
-        """Account ``seconds`` of CPU time to this node's serial CPU."""
+    def _begin_activity(self) -> None:
+        """Start a handler/timer activity: its causal frontier begins at
+        the current instant — lane backlog is applied per submitted item,
+        so activities touching free lanes proceed immediately."""
+        self._processing = True
+        self._frontier = self.now
+
+    def _end_activity(self) -> None:
+        self._processing = False
+
+    def _base_time(self) -> float:
+        # Inside an activity, work chains off the activity's frontier.
+        # Outside one (direct calls from tests/integration code), fall
+        # back to the old serial semantics: chain off whatever the node
+        # has already accepted.
+        if self._processing:
+            return self._frontier
+        return max(self.now, self._frontier)
+
+    def submit(self, kind: str, seconds: float) -> float:
+        """Account one typed work item; returns its completion time.
+        The activity frontier joins on it — subsequent code in the same
+        handler (and its outgoing messages) happens after."""
         if seconds < 0:
             raise NetworkError(f"negative charge {seconds}")
-        if self._processing:
-            self._pending_charge += seconds
-        else:
-            self._busy_until = max(self._busy_until, self.now) + seconds
+        done = self.cpu.submit(kind, seconds, self._base_time())
+        self._frontier = max(self._frontier, done)
+        return done
+
+    def submit_many(self, kind: str, costs) -> float:
+        """Fan a batch of typed items out across lanes (released
+        together), joining the frontier on the last completion."""
+        done = self.cpu.submit_many(kind, costs, self._base_time())
+        self._frontier = max(self._frontier, done)
+        return done
+
+    def charge(self, seconds: float, kind: str = "message") -> None:
+        """Account ``seconds`` of serial CPU time (compatibility shim for
+        untyped callers; prefer :meth:`submit` with an explicit kind).
+        Calls :meth:`Node.submit` explicitly: client subclasses reuse the
+        ``submit`` name for transaction submission."""
+        Node.submit(self, kind, seconds)
 
     def cpu_time(self) -> float:
-        """The time at which this node's CPU finishes the work accepted so
-        far (including charges accrued by the currently-running handler).
-        Outgoing messages depart then, and completion-style measurements
-        (e.g. commit timestamps) should use it instead of ``now``."""
-        return self._busy_until + (self._pending_charge if self._processing else 0.0)
+        """The causal completion time of the current activity's work so
+        far.  Outgoing messages depart then, and completion-style
+        measurements (e.g. commit timestamps) should use it instead of
+        ``now``."""
+        return self._frontier
 
     def send(self, dst: str, msg: Any, size: int | None = None) -> None:
         """Send ``msg`` to the node addressed ``dst``."""
@@ -94,10 +144,19 @@ class Node:
                 self.send(dst, msg, size)
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> int:
-        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        """Schedule ``callback`` after ``delay`` seconds of virtual time.
+        The callback runs as a CPU activity, like a message handler."""
         if self.net is None:
             raise NetworkError(f"node {self.address} not attached to a network")
-        return self.net.scheduler.after(delay, callback)
+
+        def fire() -> None:
+            self._begin_activity()
+            try:
+                callback()
+            finally:
+                self._end_activity()
+
+        return self.net.scheduler.after(delay, fire)
 
     def cancel_timer(self, timer_id: int) -> None:
         if self.net is not None:
@@ -316,18 +375,14 @@ class SimNetwork:
                 )
 
     def _deliver(self, src: str, node: Node, msg: Any) -> None:
-        # CPU model: processing starts when the node's CPU frees up; the
-        # handler's charges extend busy_until from there.
-        start = max(self.scheduler.now, node._busy_until)
-        node._busy_until = start
-        node._processing = True
-        node._pending_charge = 0.0
+        # CPU model: the handler runs as an activity — each typed work
+        # item it submits queues behind the lane its kind maps to, and the
+        # activity's frontier (max completion so far) gates its sends.
+        node._begin_activity()
         try:
             node.on_message(src, msg)
         finally:
-            node._processing = False
-            node._busy_until = start + node._pending_charge
-            node._pending_charge = 0.0
+            node._end_activity()
 
     # -- running ----------------------------------------------------------------------
 

@@ -12,6 +12,7 @@ throughput/latency curves keep the paper's shape.
 from .clock import VirtualClock
 from .scheduler import EventScheduler
 from .costs import CostModel, DEDICATED_CLUSTER, AZURE_LAN, AZURE_WAN
+from .cpu import VirtualCPU, PARALLEL, DEFAULT_POLICIES
 from .metrics import LatencyStats, ThroughputMeter, MetricsCollector
 
 __all__ = [
@@ -21,6 +22,9 @@ __all__ = [
     "DEDICATED_CLUSTER",
     "AZURE_LAN",
     "AZURE_WAN",
+    "VirtualCPU",
+    "PARALLEL",
+    "DEFAULT_POLICIES",
     "LatencyStats",
     "ThroughputMeter",
     "MetricsCollector",

@@ -6,9 +6,15 @@ breakdown (Tab. 3): client-signature verification is roughly half of each
 transaction's CPU budget, execution against a 500K-account SmallBank store
 is the next largest component, and consensus/ledger overheads are small.
 
-All costs are in seconds of single-core CPU time; callers divide by the
-core count when work is parallelized (the paper parallelizes signature
-verification across hardware threads).
+All costs are in seconds of single-core CPU time for **one** item of work.
+Nodes account for them by submitting typed items to their multi-lane
+:class:`~repro.sim.cpu.VirtualCPU` (``node.submit("verify", costs.verify)``);
+parallelism comes from lane scheduling — verification fans out across the
+machine's ``cores`` lanes while execution and ledger appends stay serial
+on dedicated lanes — never from dividing a cost by the core count.  The
+old ``CostModel.parallel`` helper encoded exactly that division and is
+gone: wall-clock time for a batch of work is a property of lane
+availability, not of the cost model.
 """
 
 from __future__ import annotations
@@ -59,11 +65,6 @@ class CostModel:
     def execute_tx(self, kv_ops: int, store_size: int) -> float:
         """Cost of executing one transaction doing ``kv_ops`` accesses."""
         return self.exec_overhead + kv_ops * self.kv_op(store_size)
-
-    def parallel(self, total: float) -> float:
-        """Wall-clock time for ``total`` CPU-seconds of perfectly
-        parallelizable work spread over all cores."""
-        return total / self.cores
 
     def scaled(self, **overrides) -> "CostModel":
         """A copy with some fields overridden."""

@@ -1,9 +1,13 @@
-"""Metrics collection: latency distributions and throughput.
+"""Metrics collection: latency distributions, throughput, CPU lanes.
 
 Benchmarks record one latency sample per committed transaction and
 throughput over a measurement window (excluding warm-up), matching the
 paper's methodology ("throughput is measured at the primary replica and
-latency at the clients").
+latency at the clients").  Open-loop runs additionally record *offered*
+load (submissions at the clients), *goodput* (completed receipts), the
+*queue delay* requests accumulate between admission and execution at the
+replica, and per-lane CPU utilization — the signals a Fig. 4-style
+saturation sweep reads past the knee.
 """
 
 from __future__ import annotations
@@ -13,13 +17,20 @@ from dataclasses import dataclass, field
 
 
 class LatencyStats:
-    """Online latency statistics with percentile support."""
+    """Online latency statistics with percentile support.
+
+    The sorted view is computed lazily and cached; :meth:`record`
+    invalidates it, so repeated percentile reads between samples (the
+    common benchmark-reporting pattern) sort once instead of per call.
+    """
 
     def __init__(self) -> None:
         self._samples: list[float] = []
+        self._sorted: list[float] | None = None
 
     def record(self, seconds: float) -> None:
         self._samples.append(seconds)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -35,12 +46,17 @@ class LatencyStats:
         """The ``p``-th percentile (0 < p <= 100), nearest-rank."""
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        ordered = self._sorted
         rank = max(1, math.ceil(p / 100.0 * len(ordered)))
         return ordered[rank - 1]
 
     def p50(self) -> float:
         return self.percentile(50)
+
+    def p90(self) -> float:
+        return self.percentile(90)
 
     def p99(self) -> float:
         return self.percentile(99)
@@ -50,7 +66,7 @@ class LatencyStats:
 
 
 class ThroughputMeter:
-    """Counts committed transactions inside a measurement window."""
+    """Counts events (commits, submissions, receipts) inside a window."""
 
     def __init__(self) -> None:
         self._committed = 0
@@ -69,12 +85,15 @@ class ThroughputMeter:
             if self._window_end is None or now <= self._window_end:
                 self._committed += count
 
+    # Submissions and completions meter through the same windowing logic.
+    record = record_commit
+
     @property
     def committed(self) -> int:
         return self._committed
 
     def throughput(self) -> float:
-        """Committed transactions per second over the window."""
+        """Events per second over the window."""
         if self._window_start is None or self._window_end is None:
             return 0.0
         elapsed = self._window_end - self._window_start
@@ -83,23 +102,49 @@ class ThroughputMeter:
 
 @dataclass
 class MetricsCollector:
-    """Bundle of the stats a deployment run produces."""
+    """Bundle of the stats a deployment run produces.
+
+    ``latency``/``goodput`` are recorded at clients, ``throughput`` and
+    ``queue_delay`` at replicas, ``offered`` at load generators.
+    ``lane_utilization`` is a per-lane busy-fraction snapshot installed by
+    the bench harness (see :meth:`record_lane_utilization`).
+    """
 
     latency: LatencyStats = field(default_factory=LatencyStats)
+    queue_delay: LatencyStats = field(default_factory=LatencyStats)
     throughput: ThroughputMeter = field(default_factory=ThroughputMeter)
+    offered: ThroughputMeter = field(default_factory=ThroughputMeter)
+    goodput: ThroughputMeter = field(default_factory=ThroughputMeter)
     counters: dict = field(default_factory=dict)
+    lane_utilization: list[float] | None = None
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment a named counter (signatures verified, batches, ...)."""
         self.counters[name] = self.counters.get(name, 0) + amount
 
+    def record_lane_utilization(self, fractions: list[float]) -> None:
+        """Install a per-lane busy-fraction snapshot (one entry per CPU
+        lane, measured over the benchmark window)."""
+        self.lane_utilization = list(fractions)
+
     def summary(self) -> dict:
         """A plain-dict summary for printing/serialization."""
-        return {
+        out = {
             "throughput_tx_s": self.throughput.throughput(),
             "committed": self.throughput.committed,
             "latency_mean_ms": self.latency.mean() * 1e3,
             "latency_p50_ms": self.latency.p50() * 1e3,
+            "latency_p90_ms": self.latency.p90() * 1e3,
             "latency_p99_ms": self.latency.p99() * 1e3,
             "counters": dict(self.counters),
         }
+        if self.queue_delay.count:
+            out["queue_delay_mean_ms"] = self.queue_delay.mean() * 1e3
+            out["queue_delay_p90_ms"] = self.queue_delay.p90() * 1e3
+        if self.offered.committed:
+            out["offered_tx_s"] = self.offered.throughput()
+        if self.goodput.committed:
+            out["goodput_tx_s"] = self.goodput.throughput()
+        if self.lane_utilization is not None:
+            out["lane_utilization"] = list(self.lane_utilization)
+        return out

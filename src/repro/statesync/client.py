@@ -12,6 +12,15 @@ offer (or a fresh probe).  A server caught lying — a chunk that does not
 hash to its manifest entry, a manifest inconsistent with its offer, a
 suffix that fails root checks — is failed over immediately.
 
+Chunk transfers *resume* across failovers: chunks are verified against
+the manifest digests as they arrive, so when the replacement server
+offers the **same** checkpoint (equal ``dC``, ledger binding, and chunk
+count), the already-verified chunks are kept and only the missing ones
+are re-requested.  A failover at 90% of a large checkpoint no longer
+restarts the transfer from zero.  (Chunking is deterministic given the
+state and ``sync_chunk_bytes``, so honest servers serving the same
+checkpoint produce bit-identical chunks.)
+
 Nothing is installed until everything verifies:
 
 - each chunk's bytes against the manifest's ``chunk_digests``;
@@ -56,7 +65,7 @@ class StateSyncClient:
         self.offers: dict[str, SyncOffer] = {}
         self.excluded: set[str] = set()
         self._inflight: set[int] = set()
-        self._next_chunk = 0
+        self._to_request: list[int] = []
         self._timer: int | None = None
         self._attempts = 0
         self._base_len = 0
@@ -100,15 +109,16 @@ class StateSyncClient:
         self.reassembler = None
         self.offers = {}
         self._inflight = set()
+        self._to_request = []
 
     # -- phases -------------------------------------------------------------
 
     def _enter_probe(self, peers: list[str] | None = None) -> None:
+        # The manifest/reassembler pair survives probing: it is the
+        # partial-transfer cache a same-checkpoint offer resumes from.
         self.phase = PROBE
         self.server = None
         self.offer = None
-        self.manifest = None
-        self.reassembler = None
         self._inflight = set()
         if peers is None:
             peers = [p for p in self.replica.peer_addresses() if p not in self.excluded]
@@ -123,16 +133,45 @@ class StateSyncClient:
     def _adopt_offer(self, src: str, offer: SyncOffer) -> None:
         self.server = src
         self.offer = offer
-        self.manifest = None
-        self.reassembler = None
         self._inflight = set()
         self._attempts = 0
         if offer.cp_seqno > 0 and offer.n_chunks > 0:
-            self.phase = MANIFEST
-            self.replica.send(src, ("sync-get-manifest", offer.cp_seqno))
+            if self._matches_partial_transfer(offer):
+                # Same checkpoint as the transfer interrupted by the
+                # failover: keep the already-verified chunks and request
+                # only what is still missing.
+                self.replica.metrics.bump("sync_transfers_resumed")
+                if self.reassembler.complete():
+                    self._enter_ledger()
+                    return
+                self.phase = CHUNKS
+                self._to_request = self.reassembler.missing()
+                self._fill_window()
+            else:
+                self.manifest = None
+                self.reassembler = None
+                self.phase = MANIFEST
+                self.replica.send(src, ("sync-get-manifest", offer.cp_seqno))
         else:
+            self.manifest = None
+            self.reassembler = None
             self._enter_ledger()
         self._arm_timer()
+
+    def _matches_partial_transfer(self, offer: SyncOffer) -> bool:
+        """Does ``offer`` bind the very checkpoint our verified-chunk
+        cache belongs to?  Equality of ``dC``, the ledger binding, and
+        the chunk count means every cached chunk is still valid."""
+        manifest = self.manifest
+        return (
+            manifest is not None
+            and self.reassembler is not None
+            and offer.cp_seqno == manifest.cp_seqno
+            and offer.cp_digest == manifest.cp_digest
+            and offer.cp_ledger_size == manifest.cp_ledger_size
+            and offer.cp_ledger_root == manifest.cp_ledger_root
+            and offer.n_chunks == len(manifest.chunk_digests)
+        )
 
     def _enter_ledger(self) -> None:
         self.phase = LEDGER
@@ -209,16 +248,15 @@ class StateSyncClient:
         self.reassembler = ChunkReassembler(manifest.chunk_digests, manifest.cp_digest)
         self.phase = CHUNKS
         self._attempts = 0
-        self._next_chunk = 0
+        self._to_request = list(range(self.reassembler.total))
         self._inflight = set()
         self._fill_window()
         self._arm_timer()
 
     def _fill_window(self) -> None:
         window = max(1, self.replica.params.sync_window)
-        while len(self._inflight) < window and self._next_chunk < self.reassembler.total:
-            index = self._next_chunk
-            self._next_chunk += 1
+        while len(self._inflight) < window and self._to_request:
+            index = self._to_request.pop(0)
             self._inflight.add(index)
             self.replica.send(self.server, ("sync-get-chunk", self.offer.cp_seqno, index))
 
@@ -233,7 +271,7 @@ class StateSyncClient:
             return
         replica = self.replica
         size = len(chunk) if isinstance(chunk, (bytes, bytearray)) else 0
-        replica.charge(replica.costs.hash_fixed + size * replica.costs.hash_per_byte)
+        replica.submit("hash", replica.costs.hash_fixed + size * replica.costs.hash_per_byte)
         if not self.reassembler.add(index, chunk):
             if index in self._inflight or (0 <= index < self.reassembler.total):
                 replica.metrics.bump("sync_chunks_rejected")
@@ -317,7 +355,8 @@ class StateSyncClient:
             ledger.append(entry_from_wire(wire))
         if len(ledger) < offer.cp_ledger_size:
             raise ProtocolError("sync ledger shorter than checkpoint bound")
-        replica.charge(len(entry_wires) * (replica.costs.ledger_append + 2 * replica.costs.hash_fixed))
+        replica.submit("append", len(entry_wires) * replica.costs.ledger_append)
+        replica.submit("hash", len(entry_wires) * 2 * replica.costs.hash_fixed)
         genesis = replica.ledger.entry(0)
         if ledger.entry(0).to_wire() != genesis.to_wire():
             raise ProtocolError("sync ledger has a different genesis")
@@ -417,6 +456,10 @@ class StateSyncClient:
         self.phase = IDLE
         self.offers = {}
         self.excluded = set()
+        self.manifest = None
+        self.reassembler = None
+        self._inflight = set()
+        self._to_request = []
         replica.metrics.bump("sync_sessions_completed")
         replica._finish_state_sync()
 

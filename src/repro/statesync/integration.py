@@ -118,6 +118,7 @@ class StateSyncMixin:
         self.requests = {}
         self.request_order = []
         self.request_sources = {}
+        self.request_arrivals = {}
         self.pending_pps = []
         self.pending_commits = {}
         self.prepares_by_ppd = {}

@@ -108,7 +108,7 @@ class StateSyncServer:
         if not 0 <= index < len(self._chunks):
             return
         chunk = self._chunks[index]
-        replica.charge(replica.costs.hash_fixed + len(chunk) * replica.costs.hash_per_byte)
+        replica.submit("hash", replica.costs.hash_fixed + len(chunk) * replica.costs.hash_per_byte)
         payload = ("sync-chunk", cp_seqno, index, chunk)
         behavior = replica.behavior
         if behavior is not None:
@@ -136,7 +136,7 @@ class StateSyncServer:
             # only the suffix needs to travel.
             start = base_len
         fragment = replica.ledger.fragment(start, end)
-        replica.charge(len(fragment) * replica.costs.ledger_append)
+        replica.submit("append", len(fragment) * replica.costs.ledger_append)
         replica.metrics.bump("sync_ledger_serves")
         replica.send(
             src,
@@ -149,7 +149,7 @@ class StateSyncServer:
         key = (cp.seqno, cp.digest())
         if self._cache_key != key:
             replica = self.replica
-            replica.charge(len(cp.state) * replica.costs.checkpoint_per_entry)
+            replica.submit("hash", len(cp.state) * replica.costs.checkpoint_per_entry)
             self._chunks = chunk_state(cp.state, replica.params.sync_chunk_bytes)
             self._manifest = SyncManifest(
                 cp_seqno=cp.seqno,

@@ -3,8 +3,16 @@
 - :mod:`repro.workloads.smallbank` — the SmallBank banking benchmark the
   paper evaluates with (5 transaction types over 100K–1M accounts), plus
   the empty-request workload of Tab. 3 variant (h).
+- :mod:`repro.workloads.loadgen` — seeded open-loop arrival processes
+  (Poisson and fixed-rate) driving the saturation sweeps.
 """
 
+from .loadgen import (
+    ArrivalProcess,
+    FixedRateArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
 from .smallbank import (
     SmallBankWorkload,
     EmptyWorkload,
@@ -16,6 +24,10 @@ from .smallbank import (
 )
 
 __all__ = [
+    "ArrivalProcess",
+    "FixedRateArrivals",
+    "PoissonArrivals",
+    "make_arrivals",
     "SmallBankWorkload",
     "EmptyWorkload",
     "register_smallbank",

@@ -1,0 +1,102 @@
+"""Open-loop arrival processes for load generation (paper §6).
+
+The paper drives its throughput/latency sweeps open-loop: clients submit
+at an *offered* rate regardless of completions, so past the saturation
+knee the queues grow and latency diverges — the behavior Fig. 4 plots.
+A closed-loop driver (submit-on-completion) can never show that: it
+self-throttles to the service's capacity.
+
+An :class:`ArrivalProcess` owns the absolute time of the next arrival and
+is consumed by the tick loops of the load-generator clients
+(:class:`repro.lpbft.client.LoadGenerator` and the baseline clients):
+
+- :class:`FixedRateArrivals` — deterministic ``1/rate`` spacing, the
+  pre-existing behavior;
+- :class:`PoissonArrivals` — exponential inter-arrival times from a
+  seeded RNG, the memoryless arrivals real request traffic approximates.
+
+Both are deterministic for a given seed, so two runs of the same scenario
+submit byte-identical request sequences at identical instants.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ArrivalProcess:
+    """Base class: tracks the absolute time of the next arrival.
+
+    Subclasses implement :meth:`interarrival`.  Drivers call
+    :meth:`due` once per tick to learn how many submissions fall due,
+    then :meth:`delay_until_next` to schedule the next wake-up (ticks are
+    floored at ``min_tick`` so high offered rates batch their submissions
+    instead of flooding the event queue).
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        self.rate = rate
+        self.next_at = 0.0
+        self._primed = False
+
+    def interarrival(self) -> float:
+        raise NotImplementedError
+
+    def due(self, now: float) -> int:
+        """How many arrivals fall at or before ``now`` (advances state)."""
+        if not self._primed:
+            # The first arrival happens one inter-arrival after the start.
+            self.next_at = now + self.interarrival()
+            self._primed = True
+        n = 0
+        while self.next_at <= now + 1e-12:
+            n += 1
+            self.next_at += self.interarrival()
+        return n
+
+    def delay_until_next(self, now: float, min_tick: float = 1e-3) -> float:
+        """Seconds until the next arrival, floored at ``min_tick``."""
+        if not self._primed:
+            self.next_at = now + self.interarrival()
+            self._primed = True
+        return max(self.next_at - now, min_tick)
+
+
+class FixedRateArrivals(ArrivalProcess):
+    """Deterministic arrivals exactly ``1/rate`` apart."""
+
+    def interarrival(self) -> float:
+        return 1.0 / self.rate
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Seeded Poisson process: exponential inter-arrival times with mean
+    ``1/rate``.  Burstier than fixed spacing at the same offered load —
+    queues form before the mean-rate knee, as with real traffic."""
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        super().__init__(rate)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def interarrival(self) -> float:
+        return self._rng.expovariate(self.rate)
+
+
+def make_arrivals(kind: str, rate: float, seed: int = 0) -> ArrivalProcess:
+    """Build an arrival process by name: ``"fixed"`` or ``"poisson"``."""
+    if kind == "fixed":
+        return FixedRateArrivals(rate)
+    if kind == "poisson":
+        return PoissonArrivals(rate, seed)
+    raise ValueError(f"unknown arrival process {kind!r} (want 'fixed' or 'poisson')")
+
+
+def default_arrivals(arrivals: ArrivalProcess | None, rate: float) -> ArrivalProcess | None:
+    """The client-constructor default: an explicit process wins, else
+    deterministic ``1/rate`` spacing, else None (no load) for rate 0."""
+    if arrivals is not None:
+        return arrivals
+    return FixedRateArrivals(rate) if rate > 0 else None
