@@ -44,7 +44,10 @@ def curve(label, params, rates, **kwargs):
 
 
 def test_fig4_iaccf(once):
-    points = once(curve, "IA-CCF", ProtocolParams(**BASE), [10_000, 30_000, 45_000, 50_000])
+    # Rates re-pinned via repro.bench.find_knee after PR 4's coordinated
+    # admission: the knee measures 45.3K; the top point sits ~1.2x past it
+    # (goodput plateaus there instead of collapsing).
+    points = once(curve, "IA-CCF", ProtocolParams(**BASE), [10_000, 30_000, 45_300, 54_400])
     print_table("Fig. 4: IA-CCF (paper: 47.8k tx/s, <70 ms)", points)
     if SMOKE:
         assert points[0].extra["committed"] > 0
@@ -56,7 +59,9 @@ def test_fig4_iaccf(once):
 
 
 def test_fig4_noreceipt(once):
-    points = once(curve, "IA-CCF-NoReceipt", ProtocolParams(**BASE, receipts=False), [45_000, 52_000])
+    # Pinned against the find_knee-probed IA-CCF knee (45.3K): receipts
+    # cost only a few percent, so the same bracket spans this knee too.
+    points = once(curve, "IA-CCF-NoReceipt", ProtocolParams(**BASE, receipts=False), [45_300, 54_400])
     print_table("Fig. 4: IA-CCF-NoReceipt (paper: 51.2k, +3% over IA-CCF)", points)
     if SMOKE:
         assert points[0].extra["committed"] > 0

@@ -34,6 +34,7 @@ class FabricParams:
     endorsements_required: int = 2
     block_timeout: float = 1.0  # orderer batch timeout (Fabric default 2s; tuned deployments 1s)
     block_max_size: int = 500
+    queue_cap: int = 4000  # orderer backlog bound (shed + reject beyond it)
     kv_slowdown: float = 40.0  # GoLevelDB factor over CCF's CHAMP map [Nakaike et al.]
     validation_parallel: bool = False  # Fabric 2.2 validates sequentially per block
     kv_ops_per_tx: int = 3
@@ -135,10 +136,18 @@ class FabricOrderer(Node):
         if msg[0] != "submit":
             return
         tx_id, client, submitted_at = msg[1], msg[2], msg[3]
+        if len(self.pending) >= self.params.queue_cap:
+            # Bounded ordering backlog: shed (unified metric name) and
+            # reject so the client can count its losses.
+            self.metrics.bump("requests_shed")
+            self.send(client, ("reject", tx_id))
+            return
         # Raft append + replication to followers (MACs, no signatures).
         self.submit("append", self.costs.ledger_append + self.n_followers * self.costs.mac)
         self.pending.append((tx_id, client, submitted_at))
         self.metrics.bump("ordered")
+        self.metrics.bump("requests_admitted")
+        self.metrics.admitted.record(self.now)
         if len(self.pending) >= self.params.block_max_size:
             self._cut_block()
         elif self._cut_timer is None:
@@ -218,6 +227,12 @@ class FabricClient(Node):
             endorsed.add(peer)
             if len(endorsed) >= self.params.endorsements_required:
                 self.send(self.orderer, ("submit", tx_id, self.address, submitted_at), size=256)
+        elif kind == "reject":
+            tx_id = msg[1]
+            if tx_id in self._waiting:
+                del self._waiting[tx_id]
+                if self.recording:
+                    self.metrics.bump("requests_rejected")
         elif kind == "committed":
             for tx_id, submitted_at in msg[1]:
                 if tx_id in self._waiting:
@@ -257,6 +272,9 @@ class FabricDeployment:
             costs=self.costs,
             n_followers=2,
             peers=[p.address for p in self.peers],
+            # Share the deployment collector so admitted/shed counts land
+            # next to peer 0's throughput in benchmark summaries.
+            metrics=self.metrics,
         )
         self.net.register(self.orderer)
         self.clients: list[FabricClient] = []

@@ -99,17 +99,26 @@ class HotStuffReplica(Node):
 
     def _handle_commands(self, src: str, msg: tuple) -> None:
         """Accept a pipelined bundle of commands from a client (libhotstuff
-        clients pipeline many outstanding commands per connection)."""
+        clients pipeline many outstanding commands per connection).  The
+        admission queue stays bounded (the baseline's semantics); shed
+        commands are counted under the unified ``requests_shed`` name and
+        rejected back to the client so it can back off."""
         if not self.is_leader:
             return
         accepted = 0
-        for cmd_id in msg[1]:
+        cmd_ids = msg[1]
+        for cmd_id in cmd_ids:
             if len(self.pending) >= 8 * self.params.batch_size:
-                self.metrics.bump("cmds_shed")
                 break  # bounded admission queue
             self.pending.append((cmd_id, src, self.now))
             accepted += 1
+        shed = len(cmd_ids) - accepted
+        if shed:
+            self.metrics.bump("requests_shed", shed)
+            self.send(src, ("reject", tuple(cmd_ids[accepted:])))
         if accepted:
+            self.metrics.bump("requests_admitted", accepted)
+            self.metrics.admitted.record(self.now, accepted)
             self.submit("message", accepted * self.params.per_command_cost)
             if self.params.sign_client_requests:
                 # The bundle's client signatures arrive together: release
@@ -225,6 +234,12 @@ class HotStuffClient(Node):
         self.set_timer(self.arrivals.delay_until_next(self.now), self._tick)
 
     def on_message(self, src: str, msg: Any) -> None:
+        if msg[0] == "reject":
+            # Leader shed part of a bundle: count the rejections (the
+            # open-loop client does not retransmit — shed is shed).
+            if self.recording:
+                self.metrics.bump("requests_rejected", len(msg[1]))
+            return
         if msg[0] != "reply":
             return
         for cmd_id, submitted_at in msg[1]:

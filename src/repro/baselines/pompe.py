@@ -74,10 +74,15 @@ class PompeReplica(Node):
             self.send(src, ("ordered", msg[1], self.id))
         elif kind == "cert" and self.is_leader:
             # An ordering certificate: 2f+1 signed timestamps; the leader
-            # verifies them once per batch, not per command.
+            # verifies them once per batch, not per command.  Shedding is
+            # counted per command under the unified ``requests_shed`` name
+            # and rejected back to the submitting client.
             if len(self.pending) >= 8 * self.params.batch_size:
-                self.metrics.bump("certs_shed")
+                self.metrics.bump("requests_shed", msg[2])
+                self.send(src, ("reject", msg[1], msg[2]))
                 return
+            self.metrics.bump("requests_admitted", msg[2])
+            self.metrics.admitted.record(self.now, msg[2])
             self.submit("verify", self.costs.verify * self.quorum / 4)
             self.submit("message", self.params.per_command_cost * msg[2])
             self.pending.append((msg[1], src, msg[3], msg[2]))
@@ -198,6 +203,10 @@ class PompeClient(Node):
                     ("cert", msg[1], n_cmds, submitted_at),
                     size=64 + 96 * self.quorum,
                 )
+        elif kind == "reject":
+            # The consensus leader shed the whole certificate's commands.
+            if self.recording:
+                self.metrics.bump("requests_rejected", msg[2])
         elif kind == "reply":
             _, submitted_at, n_cmds = msg[1], msg[2], msg[3]
             self.completed += n_cmds

@@ -2,6 +2,8 @@
 
 from .runners import (
     BenchPoint,
+    KneeResult,
+    find_knee,
     run_iaccf_point,
     run_hotstuff_point,
     run_fabric_point,
@@ -13,6 +15,8 @@ from .runners import (
 
 __all__ = [
     "BenchPoint",
+    "KneeResult",
+    "find_knee",
     "run_iaccf_point",
     "run_hotstuff_point",
     "run_fabric_point",

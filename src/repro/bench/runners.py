@@ -70,6 +70,7 @@ def run_iaccf_point(
     partition: tuple[list[int], float, float] | None = None,
     arrival: str = "poisson",
     lane_metrics: bool = False,
+    client_kwargs: dict | None = None,
 ) -> BenchPoint:
     """Measure IA-CCF (or a feature variant of it) at one offered load.
 
@@ -104,10 +105,12 @@ def run_iaccf_point(
         initial_state=state,
         sites=sites or {},
     )
-    load = dep.add_load_generator(
-        wl, rate=rate, site=client_site, stop_at=duration, verify_receipts=False,
+    load_kwargs = dict(
+        site=client_site, stop_at=duration, verify_receipts=False,
         retry_timeout=10.0, arrivals=make_arrivals(arrival, rate, seed),
     )
+    load_kwargs.update(client_kwargs or {})
+    load = dep.add_load_generator(wl, rate=rate, **load_kwargs)
     load.recording = False
     primary_metrics = dep.metrics
     if lane_metrics:
@@ -125,15 +128,33 @@ def run_iaccf_point(
         )
     summary = primary_metrics.summary()
     lat = load.metrics.latency
+    counters = summary["counters"]
+    load_counters = load.metrics.counters
     extra = {
         "committed": summary["committed"],
-        "counters": summary["counters"],
+        "counters": counters,
         "submitted": load.submitted,
         "offered_tps": load.metrics.offered.throughput(),
+        "admitted_tps": primary_metrics.admitted.throughput(),
         "goodput_tps": load.metrics.goodput.throughput(),
         "messages_dropped": dep.net.messages_dropped,
+        # Overload pipeline: shed/drop counts at the replicas, rejection/
+        # retry/abandonment counts at the load generator, and the verify
+        # CPU wasted on requests that were shed after verification (summed
+        # across replicas — nonzero is the uncoordinated-admission smell).
+        "requests_shed": sum(
+            r.metrics.counters.get("requests_shed", 0) for r in dep.replicas
+        ),
+        "requests_deadline_dropped": counters.get("requests_deadline_dropped", 0),
+        "requests_rejected": load_counters.get("requests_rejected", 0),
+        "request_retries": load_counters.get("request_retries", 0),
+        "requests_abandoned": load_counters.get("requests_abandoned", 0),
+        "wasted_verify_s": round(
+            sum(r.wasted_verify_seconds() for r in dep.replicas), 6
+        ),
     }
     if primary_metrics.queue_delay.count:
+        extra["queue_delay_p50_ms"] = primary_metrics.queue_delay.p50() * 1e3
         extra["queue_delay_p90_ms"] = primary_metrics.queue_delay.p90() * 1e3
     if lane_metrics:
         extra["lane_utilization"] = [
@@ -163,6 +184,7 @@ def run_iaccf_point(
 def _open_window(metrics, load) -> None:
     now = metrics_now(load)
     metrics.throughput.start_window(now)
+    metrics.admitted.start_window(now)
     load.metrics.offered.start_window(now)
     load.metrics.goodput.start_window(now)
     load.recording = True
@@ -171,6 +193,7 @@ def _open_window(metrics, load) -> None:
 def _close_window(metrics, load) -> None:
     now = metrics_now(load)
     metrics.throughput.end_window(now)
+    metrics.admitted.end_window(now)
     load.metrics.offered.end_window(now)
     load.metrics.goodput.end_window(now)
     load.recording = False
@@ -218,7 +241,21 @@ def run_hotstuff_point(
         latency_mean_ms=lat.mean() * 1e3,
         latency_p50_ms=lat.p50() * 1e3,
         latency_p99_ms=lat.p99() * 1e3,
+        extra=_overload_extra(dep, client),
     )
+
+
+def _overload_extra(dep, client) -> dict:
+    """The shared offered/admitted/goodput/shed report for baseline
+    deployments (leader-side meters in ``dep.metrics``, client-side in
+    ``client.metrics``)."""
+    return {
+        "offered_tps": client.metrics.offered.throughput(),
+        "admitted_tps": dep.metrics.admitted.throughput(),
+        "goodput_tps": client.metrics.goodput.throughput(),
+        "requests_shed": dep.metrics.counters.get("requests_shed", 0),
+        "requests_rejected": client.metrics.counters.get("requests_rejected", 0),
+    }
 
 
 def run_fabric_point(
@@ -257,6 +294,7 @@ def run_fabric_point(
         latency_mean_ms=lat.mean() * 1e3,
         latency_p50_ms=lat.p50() * 1e3,
         latency_p99_ms=lat.p99() * 1e3,
+        extra=_overload_extra(dep, client),
     )
 
 
@@ -294,12 +332,89 @@ def run_pompe_point(
         latency_mean_ms=lat.mean() * 1e3,
         latency_p50_ms=lat.p50() * 1e3,
         latency_p99_ms=lat.p99() * 1e3,
+        extra=_overload_extra(dep, client),
     )
 
 
 def saturation_sweep(run_point, rates: list[float], **kwargs) -> list[BenchPoint]:
     """Run a throughput/latency curve over increasing offered load."""
     return [run_point(rate=rate, **kwargs) for rate in rates]
+
+
+@dataclass
+class KneeResult:
+    """Outcome of a :func:`find_knee` probe."""
+
+    knee_tps: float  # highest offered rate measured as sustainable
+    goodput_tps: float  # goodput measured at the knee
+    sustainable: bool  # False if even the lowest probe was unsustainable
+    probes: list[BenchPoint] = field(default_factory=list)  # in probe order
+
+    def point(self) -> BenchPoint | None:
+        """The probe measured at the knee rate."""
+        for p in self.probes:
+            if p.offered_tps == self.knee_tps:
+                return p
+        return None
+
+
+def find_knee(
+    run_point,
+    lo: float,
+    hi: float,
+    sustain_ratio: float = 0.9,
+    rel_tol: float = 0.05,
+    max_probes: int = 12,
+    **kwargs,
+) -> KneeResult:
+    """Locate the saturation knee by bisection instead of hand-picked
+    rates: the highest offered load the system still *sustains*, where a
+    probe is sustainable when measured goodput >= ``sustain_ratio`` times
+    measured offered load.
+
+    ``lo`` should be comfortably below the knee and ``hi`` above it; the
+    bracket is validated by probing (an unsustainable ``lo`` returns
+    immediately with ``sustainable=False``; a sustainable ``hi`` returns
+    ``hi`` as the knee).  Bisection stops when the bracket is within
+    ``rel_tol`` (relative) or after ``max_probes`` measurements.  Every
+    probe is a full ``run_point`` measurement, so the result is exactly
+    as deterministic as the runner (seeded).
+    """
+    if not 0 < lo < hi:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo} hi={hi}")
+    probes: list[BenchPoint] = []
+
+    def sustainable(rate: float) -> tuple[BenchPoint, bool]:
+        p = run_point(rate=rate, **kwargs)
+        probes.append(p)
+        offered = p.extra.get("offered_tps") or rate
+        goodput = p.extra.get("goodput_tps", p.throughput_tps)
+        return p, goodput >= sustain_ratio * offered
+
+    lo_point, ok = sustainable(lo)
+    if not ok:
+        return KneeResult(
+            knee_tps=lo, goodput_tps=lo_point.extra.get("goodput_tps", 0.0),
+            sustainable=False, probes=probes,
+        )
+    best = lo_point
+    _, ok = sustainable(hi)
+    if ok:
+        best, lo = probes[-1], hi
+    else:
+        while len(probes) < max_probes and (hi - lo) > rel_tol * lo:
+            mid = (lo + hi) / 2.0
+            p, ok = sustainable(mid)
+            if ok:
+                best, lo = p, mid
+            else:
+                hi = mid
+    return KneeResult(
+        knee_tps=lo,
+        goodput_tps=best.extra.get("goodput_tps", best.throughput_tps),
+        sustainable=True,
+        probes=probes,
+    )
 
 
 def print_table(title: str, points: list[BenchPoint]) -> None:

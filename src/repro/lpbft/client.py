@@ -29,6 +29,15 @@ class LPBFTClient(Node):
 
     ``on_receipt`` (if given) is called with ``(tx_digest, receipt,
     latency_seconds)`` whenever a receipt completes.
+
+    Backpressure: replicas that shed a request send a ``reject`` back;
+    the client then retries under seeded exponential backoff
+    (``backoff``, defaulting to a policy based at ``retry_timeout``) and
+    gives up after ``retry_budget`` retransmissions (None = never),
+    counting ``requests_rejected`` / ``request_retries`` /
+    ``requests_abandoned``.  Requests that simply time out keep the
+    legacy fixed retransmission cadence unless a ``backoff`` policy is
+    passed explicitly.
     """
 
     def __init__(
@@ -46,6 +55,9 @@ class LPBFTClient(Node):
         on_receipt: Callable[[Digest, Receipt, float], None] | None = None,
         retry_timeout: float = 2.0,
         verify_receipts: bool = True,
+        retry_budget: int | None = None,
+        backoff=None,
+        backoff_seed: int = 0,
     ) -> None:
         super().__init__(address=name, site=site)
         self.keypair = keypair
@@ -71,6 +83,14 @@ class LPBFTClient(Node):
         self._known_gov_index = 0
         self._fetching_gov = False
         self._retry_cursor = 0
+        # Backpressure state (per in-flight request).
+        self.retry_budget = retry_budget
+        self.backoff = backoff
+        self._explicit_backoff = backoff is not None
+        self._backoff_seed = backoff_seed
+        self._attempts: dict[Digest, int] = {}
+        self._next_retry: dict[Digest, float] = {}
+        self._rejected_attempt: dict[Digest, int] = {}
 
     # -- submitting requests ----------------------------------------------------
 
@@ -130,6 +150,8 @@ class LPBFTClient(Node):
             finished = self.collector.add_replyx(replyx.tx_digest, replyx)
             if finished is not None:
                 self._complete(replyx.tx_digest, finished)
+        elif kind == "reject":
+            self._handle_reject(msg[1], msg[2])
         elif kind == "gov-chain-resp":
             self._handle_gov_chain(msg[1])
 
@@ -137,6 +159,9 @@ class LPBFTClient(Node):
         if tx_digest in self.receipts:
             return
         self.receipts[tx_digest] = receipt
+        self._attempts.pop(tx_digest, None)
+        self._next_retry.pop(tx_digest, None)
+        self._rejected_attempt.pop(tx_digest, None)
         if receipt.index is not None:
             self.max_seen_index = max(self.max_seen_index, receipt.index)
         sent = self.collector.sent_at(tx_digest)
@@ -181,7 +206,7 @@ class LPBFTClient(Node):
         schedule = verify_chain(self.gov_chain, self.params.pipeline, self.backend)
         return schedule.config_at_seqno(receipt.seqno)
 
-    # -- retries -----------------------------------------------------------------
+    # -- retries and backpressure -------------------------------------------------
 
     def on_start(self) -> None:
         self._arm_retry_timer()
@@ -189,22 +214,75 @@ class LPBFTClient(Node):
     def _arm_retry_timer(self) -> None:
         self.set_timer(self.retry_timeout, self._on_retry_timer)
 
+    def _backoff_policy(self):
+        """The backoff policy, created lazily (seeded) on first use so
+        clients that never see rejections pay nothing."""
+        if self.backoff is None:
+            from ..workloads.loadgen import ExponentialBackoff
+
+            self.backoff = ExponentialBackoff(
+                base=self.retry_timeout, cap=8.0 * self.retry_timeout, seed=self._backoff_seed
+            )
+        return self.backoff
+
+    def _handle_reject(self, tx_digest: Digest, reason: str) -> None:
+        """A replica shed this request: back off before retransmitting,
+        or give up if the retry budget is spent (§3.3 retransmission,
+        throttled)."""
+        if tx_digest in self.receipts or self.collector.request_wire(tx_digest) is None:
+            return
+        attempt = self._attempts.get(tx_digest, 0)
+        if self._rejected_attempt.get(tx_digest) == attempt:
+            return  # one backoff step per attempt, however many replicas shed
+        self._rejected_attempt[tx_digest] = attempt
+        if self.recording:  # counters are windowed, like the baselines'
+            self.metrics.bump("requests_rejected")
+        if self.retry_budget is not None and attempt >= self.retry_budget:
+            self._abandon(tx_digest)
+            return
+        self._next_retry[tx_digest] = self.now + self._backoff_policy().delay(attempt)
+
+    def _abandon(self, tx_digest: Digest) -> None:
+        if self.collector.abandon(tx_digest) and self.recording:
+            self.metrics.bump("requests_abandoned")
+        self._attempts.pop(tx_digest, None)
+        self._next_retry.pop(tx_digest, None)
+        self._rejected_attempt.pop(tx_digest, None)
+
     def _on_retry_timer(self) -> None:
         """Retransmit stale requests and ask an alternate replica for the
         missing ``replyx`` (§3.3: "it retransmits the request and selects
-        a different replica to send back replyx")."""
+        a different replica to send back replyx").  Requests under
+        backoff wait for their scheduled instant; requests out of retry
+        budget are abandoned."""
         now = self.now
         for tx_digest in self.collector.pending_digests():
             sent = self.collector.sent_at(tx_digest)
-            if sent is None or now - sent < self.retry_timeout:
+            if sent is None:
                 continue
-            pending = self.collector._pending[tx_digest]
-            payload = ("request", pending.request_wire)
+            due = self._next_retry.get(tx_digest)
+            if due is None:
+                if now - sent < self.retry_timeout:
+                    continue
+                if self._explicit_backoff:
+                    # Timeouts back off too when a policy was configured.
+                    due = now
+            if due is not None and now < due:
+                continue
+            attempt = self._attempts.get(tx_digest, 0)
+            if self.retry_budget is not None and attempt >= self.retry_budget:
+                self._abandon(tx_digest)
+                continue
+            self._attempts[tx_digest] = attempt + 1
+            payload = ("request", self.collector.request_wire(tx_digest))
             for address in self.replica_addresses:
                 self.send(address, payload)
             self._retry_cursor = (self._retry_cursor + 1) % len(self.replica_addresses)
             self.send(self.replica_addresses[self._retry_cursor], ("get-replyx", tx_digest))
-            self.metrics.bump("request_retries")
+            if self.recording:
+                self.metrics.bump("request_retries")
+            if tx_digest in self._next_retry or self._explicit_backoff:
+                self._next_retry[tx_digest] = now + self._backoff_policy().delay(attempt + 1)
         self._arm_retry_timer()
 
 

@@ -30,6 +30,30 @@ class ProtocolParams:
     batch_delay: float = 0.0005  # primary waits this long to fill a batch
     request_queue_cap: int = 3000  # admission control: drop new requests beyond this backlog
 
+    # Overload control (coordinated admission pipeline).  With
+    # ``coordinated_admission`` on, the *primary* is the single admission
+    # point: it sheds at ingress — before paying any verification cost —
+    # whenever the projected backlog drain time (execute-lane occupancy
+    # plus queued requests times the per-request service estimate) exceeds
+    # ``admission_backlog`` seconds (0 = auto: ``client_timeout / 4``).
+    # Backups stop dropping independently: they stash raw requests without
+    # verifying and admit exactly the requests the primary sequences,
+    # verifying them in one batched fan-out at pre-prepare time.  With
+    # ``deadline_shedding`` on, the primary also drops queued requests
+    # whose projected completion (queue delay + per-op cost from the lane
+    # schedule) exceeds ``client_timeout`` — before paying execute costs.
+    coordinated_admission: bool = True
+    deadline_shedding: bool = True
+    client_timeout: float = 2.0  # the client patience replicas shed against
+    admission_backlog: float = 0.0  # queued-work drain budget in seconds (0 = auto)
+    # CPU-lane occupancy bound: shed at ingress once the execute lane is
+    # this many seconds behind.  Queued *requests* wait harmlessly, but
+    # lane backlog delays every protocol message round, so it must stay
+    # small for consensus to keep its cadence.  Backups also stop
+    # pre-verifying stashed requests past this backlog and defer to
+    # pre-prepare time instead.
+    lane_backlog_budget: float = 0.05
+
     # Hot-path optimizations.  ``verify_cache`` memoizes signature checks
     # over (key, payload, sig) triples across the deployment's replicas;
     # ``batch_verify`` verifies evidence-bundle signature sets in one
@@ -75,6 +99,18 @@ class ProtocolParams:
             raise ValueError("sync_window must be >= 1")
         if self.sync_retry_timeout <= 0:
             raise ValueError("sync_retry_timeout must be positive")
+        if self.client_timeout <= 0:
+            raise ValueError("client_timeout must be positive")
+        if self.admission_backlog < 0:
+            raise ValueError("admission_backlog must be non-negative")
+        if self.lane_backlog_budget <= 0:
+            raise ValueError("lane_backlog_budget must be positive")
+
+    def admission_budget(self) -> float:
+        """The ingress backlog budget in seconds (auto: a quarter of the
+        client timeout, so admitted work drains well before clients give
+        up even after a retry or two)."""
+        return self.admission_backlog if self.admission_backlog > 0 else self.client_timeout / 4.0
 
 
 # Named presets matching the paper's deployments.

@@ -26,6 +26,15 @@ items on the ledger lane, and Merkle/checkpoint hashing is parallel
 ``hash`` work.  Stages of different batches (and of verification vs.
 execution) overlap exactly as lane availability allows.
 
+Overload control is *primary-coordinated* (``ProtocolParams.
+coordinated_admission``): the primary is the single admission point —
+it sheds at ingress, before paying verification, against lane-backlog
+and queue-drain budgets, and deadline-sheds queued work that cannot
+meet the client timeout — while backups stash raw requests and admit
+exactly what the primary sequences, verifying deferred batches in one
+fan-out at pre-prepare time.  Shed requests are rejected back to the
+client, which retries under seeded exponential backoff.
+
 View changes (Alg. 2) and state sync live in
 :class:`~repro.lpbft.viewchange.ViewChangeMixin`; the deployable replica
 is :class:`~repro.lpbft.LPBFTReplica`.
@@ -225,6 +234,12 @@ class LPBFTReplicaCore(Node):
         self.request_order: list[Digest] = []
         self.request_sources: dict[Digest, str] = {}
         self.request_arrivals: dict[Digest, float] = {}  # admission time, for queue delay
+        # Overload control: which queued requests have had their client
+        # signature verified (backups defer verification until the primary
+        # sequences a request), and the per-request execute-cost EWMA the
+        # admission budget and deadline shedding project with.
+        self._verified_requests: set[Digest] = set()
+        self._exec_cost_ewma: float | None = None
         self.batches: dict[int, BatchRecord] = {}
         self.pps: dict[tuple[int, int], PrePrepare] = {}
         self.ppd_index: dict[Digest, tuple[int, int]] = {}
@@ -378,23 +393,185 @@ class LPBFTReplicaCore(Node):
             return
         if request.service != self.service_name:
             return  # addressed to a different service; cannot be replayed here
-        if not force and len(self.requests) >= self.params.request_queue_cap:
-            # Admission control: shed load instead of building an unbounded
-            # CPU backlog (clients retransmit, §3.3).
-            self.metrics.bump("requests_shed")
-            return
-        if self.params.sign_client_requests:
+        # With coordinated admission the primary is the single admission
+        # point; backups stash raw requests and admit exactly what the
+        # primary sequences.  Without it every replica admits (and sheds)
+        # independently — the PR 3 regime.
+        admission_point = not self.params.coordinated_admission or self.is_primary()
+        if not force:
+            if admission_point:
+                reason = self._admission_check()
+                if reason is not None:
+                    # Shed at ingress, *before* paying any verification
+                    # cost; the rejection tells the client to back off.
+                    self.metrics.bump("requests_shed")
+                    self.send(src, ("reject", tx_digest, reason))
+                    return
+            elif not self._stash_has_room():
+                self.metrics.bump("requests_stash_dropped")
+                return
+        # The admission point verifies what it admits.  Backups verify
+        # *opportunistically*: eagerly while their verify lanes are idle
+        # and the stash is shallow (keeping verification off the batch
+        # critical path below the knee), deferred to pre-prepare time
+        # once either congests — a deep stash means the primary is
+        # shedding, so most stashed requests will never be sequenced and
+        # pre-paying their verification would be pure waste.
+        verify_now = admission_point or (
+            self.params.coordinated_admission
+            and len(self.requests) < self.params.max_batch
+            and self.cpu.backlog("verify", self.now) < self.params.lane_backlog_budget
+        )
+        if verify_now and self.params.sign_client_requests:
             if not self._verify(request.client, request.signed_payload(), request.signature):
                 self.metrics.bump("bad_client_signatures")
                 return
+            self._verified_requests.add(tx_digest)
         self.requests[tx_digest] = request
         self.request_order.append(tx_digest)
         self.request_arrivals.setdefault(tx_digest, self.now)
         if record_source:
             self.request_sources[tx_digest] = src
+        if self.is_primary():
+            self.metrics.bump("requests_admitted")
+            self.metrics.admitted.record(self.now)
         if self.is_primary() and self.ready:
             self._schedule_batch()
         self._retry_pending_pps()
+
+    # -- admission control (overload pipeline) -------------------------------------
+
+    def _service_time_estimate(self) -> float:
+        """Projected serial-capacity seconds one queued request consumes:
+        its execute cost (EWMA of observed submissions; cost-model
+        estimate before any request ran) plus its verification cost
+        amortized over the lanes verification fans out across."""
+        est = self._exec_cost_ewma
+        if est is None:
+            est = self.costs.execute_tx(3, max(1, len(self.kv)))
+        if self.params.sign_client_requests and self.params.use_signatures:
+            est += self.costs.verify / max(1, self.costs.cores - 2)
+        return est
+
+    def _admission_check(self) -> str | None:
+        """Admission verdict at the admission point: ``None`` to admit, a
+        rejection reason to shed.  The hard queue cap bounds memory; the
+        backlog budget (coordinated mode) bounds the projected drain time
+        of the backlog against the execute-lane schedule."""
+        queued = len(self.requests)
+        if queued >= self.params.request_queue_cap:
+            return "overloaded"
+        if self.params.coordinated_admission:
+            backlog = self.cpu.backlog("execute", self.now)
+            # Lane occupancy over its (small) budget: the CPU is drowning
+            # in already-accepted work (verification floods every lane, so
+            # the execute lane's backlog sees it), and every protocol
+            # message round is stalling behind it — shed regardless of how
+            # short the batching queue looks.
+            if backlog > self.params.lane_backlog_budget:
+                return "overloaded"
+            # Otherwise keep at least a pipeline's worth of full batches
+            # queued — shedding below that starves batch formation — and
+            # beyond it shed when the projected queue drain time busts the
+            # backlog budget.
+            if queued >= self.params.max_batch * self.params.pipeline and (
+                backlog + (queued + 1) * self._service_time_estimate()
+                > self.params.admission_budget()
+            ):
+                return "overloaded"
+        return None
+
+    def _stash_has_room(self) -> bool:
+        """Backup stash bound.  The stash is *not* an admission point —
+        dropping a request the primary later sequences forces a fetch
+        round-trip, which is exactly the uncoordinated waste this
+        pipeline removes — so it is bounded by memory (a generous
+        multiple of the queue cap), with entries older than the client
+        timeout evicted first (their client has given up; the primary
+        would shed them too)."""
+        soft_cap = self.params.request_queue_cap
+        if len(self.requests) < soft_cap:
+            return True
+        # Lazy-deletion queue: compact only once stale digests dominate —
+        # this runs per arrival under overload, and the head scan below
+        # tolerates stale entries.
+        if len(self.request_order) > 2 * len(self.requests):
+            self.request_order = [d for d in self.request_order if d in self.requests]
+        horizon = self.now - self.params.client_timeout
+        # Scan the (arrival-ordered) head in place — this runs per arrival
+        # under overload, so no copy; the first fresh entry ends the scan.
+        idx = 0
+        while idx < len(self.request_order) and len(self.requests) >= soft_cap:
+            tx_digest = self.request_order[idx]
+            idx += 1
+            if tx_digest not in self.requests:
+                continue
+            arrival = self.request_arrivals.get(tx_digest)
+            if arrival is None or arrival > horizon:
+                break  # everything behind is fresher
+            self._drop_request(tx_digest, "requests_stash_evicted")
+        return len(self.requests) < 16 * soft_cap
+
+    def _drop_request(
+        self, tx_digest: Digest, counter: str | None, reject_reason: str | None = None
+    ) -> None:
+        """Remove a queued request (shed/evicted), accounting any CPU
+        already sunk into it as wasted work and optionally telling the
+        client."""
+        if self.requests.pop(tx_digest, None) is None:
+            return
+        self.request_arrivals.pop(tx_digest, None)
+        if tx_digest in self._verified_requests:
+            self._verified_requests.discard(tx_digest)
+            if self.params.sign_client_requests and self.params.use_signatures:
+                # Shed-after-verify: the verification was pure waste.
+                self.metrics.bump("requests_wasted_verify")
+                self.metrics.bump("wasted_verify_s", self.costs.verify)
+        if counter is not None:
+            self.metrics.bump(counter)
+        # A dropped request can never be replied to — release its source
+        # mapping (kept for executed requests to route replies).
+        src = self.request_sources.pop(tx_digest, None)
+        if reject_reason is not None and src is not None:
+            self.send(src, ("reject", tx_digest, reject_reason))
+
+    def wasted_verify_seconds(self) -> float:
+        """Verification CPU sunk into requests that were shed after being
+        verified, plus verified requests still queued (admitted but never
+        sequenced — the uncoordinated-admission waste)."""
+        wasted = float(self.metrics.counters.get("wasted_verify_s", 0.0))
+        if self.params.sign_client_requests and self.params.use_signatures:
+            leftover = sum(1 for d in self.requests if d in self._verified_requests)
+            wasted += leftover * self.costs.verify
+        return wasted
+
+    def _ensure_verified(self, digests) -> bool:
+        """Verify the client signatures of any still-unverified queued
+        requests among ``digests`` in one batched fan-out (the deferred
+        verification of coordinated admission).  Invalid requests are
+        dropped; returns False if any were."""
+        if not self.params.sign_client_requests:
+            return True
+        unverified = [
+            d for d in digests if d not in self._verified_requests and d in self.requests
+        ]
+        if not unverified:
+            return True
+        verdicts = self._verify_many(
+            [
+                (r.client, r.signed_payload(), r.signature)
+                for r in (self.requests[d] for d in unverified)
+            ]
+        )
+        all_ok = True
+        for tx_digest, ok in zip(unverified, verdicts):
+            if ok:
+                self._verified_requests.add(tx_digest)
+            else:
+                all_ok = False
+                self.metrics.bump("bad_client_signatures")
+                self._drop_request(tx_digest, None)
+        return all_ok
 
     def _schedule_batch(self) -> None:
         if self._batch_timer is not None:
@@ -473,18 +650,40 @@ class LPBFTReplicaCore(Node):
 
     def _select_requests(self, base_index: int) -> list[Digest]:
         """Pick the next batch's requests in arrival order, honoring each
-        request's minimum ledger index (mi, §B.1)."""
+        request's minimum ledger index (mi, §B.1).
+
+        With deadline shedding on, queued requests whose projected
+        completion — execute-lane backlog plus their queue position times
+        the per-request service estimate — exceeds the client timeout are
+        dropped here, *before* paying execute costs: their client will
+        have given up before the reply could arrive."""
         # Compact consumed digests out of the arrival-order queue.
         if len(self.request_order) > len(self.requests):
             self.request_order = [d for d in self.request_order if d in self.requests]
+        deadline = self.params.client_timeout if self.params.deadline_shedding else None
+        if deadline is not None:
+            service_est = self._service_time_estimate()
+            exec_backlog = self.cpu.backlog("execute", self.now)
         selected: list[Digest] = []
         projected = base_index
-        for tx_digest in self.request_order:
+        position = 0
+        for tx_digest in list(self.request_order):
             if len(selected) >= self.params.max_batch:
                 break
             request = self.requests.get(tx_digest)
             if request is None:
                 continue
+            position += 1
+            if deadline is not None:
+                # Projected completion = wait already accrued + remaining
+                # queue drain + the request's own slot.  A retransmission
+                # after the drop re-enqueues with a fresh arrival time.
+                waited = self.now - self.request_arrivals.get(tx_digest, self.now)
+                if waited + exec_backlog + service_est * position > deadline:
+                    self._drop_request(
+                        tx_digest, "requests_deadline_dropped", reject_reason="deadline"
+                    )
+                    continue
             if request.min_index > projected:
                 continue  # stays queued until the ledger grows past mi
             selected.append(tx_digest)
@@ -522,7 +721,13 @@ class LPBFTReplicaCore(Node):
                 return
             if flags == BATCH_REGULAR:
                 base = self.ledger.logical_size() + self._evidence_entry_count(s) + 1
-                selected = self._select_requests(base + (1 if self._checkpoint_due(s) else 0))
+                while True:
+                    selected = self._select_requests(base + (1 if self._checkpoint_due(s) else 0))
+                    # Requests stashed while we were a backup (coordinated
+                    # admission) are verified here, batched; invalid ones
+                    # are dropped and the selection re-runs.
+                    if self._ensure_verified(selected):
+                        break
                 if not selected and not self._checkpoint_due(s):
                     return
             else:
@@ -650,6 +855,7 @@ class LPBFTReplicaCore(Node):
             self.tx_locations[tx_digest] = (s, next_index)
             next_index += 1
             self.requests.pop(tx_digest, None)
+            self._verified_requests.discard(tx_digest)
             if request.procedure.startswith("gov."):
                 # A governance transaction ends the batch (§5.1 summary).
                 self.gov_tx_log.append((s, tx_digest, request.procedure))
@@ -662,7 +868,14 @@ class LPBFTReplicaCore(Node):
         output, ops = execute_procedure(self.kv, self.registry, request)
         # Execution is single-threaded (its lane is dedicated): batches
         # can overlap verification and message handling, never each other.
-        self.submit("execute", self.costs.execute_tx(ops, len(self.kv)))
+        cost = self.costs.execute_tx(ops, len(self.kv))
+        self.submit("execute", cost)
+        # Track the observed per-request execute cost (EWMA) — the
+        # admission budget and deadline shedding project with it.
+        if self._exec_cost_ewma is None:
+            self._exec_cost_ewma = cost
+        else:
+            self._exec_cost_ewma += 0.1 * (cost - self._exec_cost_ewma)
         self.metrics.bump("transactions_executed")
         return output
 
@@ -809,6 +1022,13 @@ class LPBFTReplicaCore(Node):
         if not self._verify(signer_config.replica_key(primary_id), pp.signed_payload(), pp.signature):
             self.metrics.bump("bad_pre_prepare_signatures")
             return True
+        # Coordinated admission defers client-signature checks to the
+        # moment the primary sequences a request: verify the batch's
+        # requests now, in one fan-out.  A batch naming a request with an
+        # invalid signature exposes a Byzantine primary.
+        if not self._ensure_verified(batch_digests):
+            self._suspect_primary()
+            return True
         if pp.flags == BATCH_END_OF_CONFIG and self.reconfig is None:
             return False  # the final vote has not executed locally yet
         if activation_batch:
@@ -880,6 +1100,8 @@ class LPBFTReplicaCore(Node):
                 self.requests[tx_digest] = TransactionRequest.from_wire(tio[0])
                 self.request_order.append(tx_digest)
                 self.request_arrivals.setdefault(tx_digest, self.now)
+                # Verified before it was sequenced; no need to re-pay.
+                self._verified_requests.add(tx_digest)
 
     # -- prepares and commits (Alg. 1 lines 27–41) -----------------------------------------
 

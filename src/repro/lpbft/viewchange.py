@@ -316,6 +316,9 @@ class ViewChangeMixin:
                 if tx_digest not in self.requests:
                     self.requests[tx_digest] = TransactionRequest.from_wire(tio[0])
                     self.request_order.append(tx_digest)
+                    # Sequenced requests were verified; keep the mark so
+                    # re-issuing the batch does not re-pay verification.
+                    self._verified_requests.add(tx_digest)
         self.prepared_upto = min(self.prepared_upto, target)
         self.committed_upto = min(self.committed_upto, target)
         self.next_seqno = target + 1

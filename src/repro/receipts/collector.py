@@ -128,6 +128,16 @@ class ReceiptCollector:
     def pending_digests(self) -> list[Digest]:
         return list(self._pending)
 
+    def request_wire(self, tx_digest: Digest) -> tuple | None:
+        """The wire form of a pending request (for retransmission)."""
+        pending = self._pending.get(tx_digest)
+        return None if pending is None else pending.request_wire
+
+    def abandon(self, tx_digest: Digest) -> bool:
+        """Stop collecting for a request (retry budget exhausted); returns
+        True if it was still pending.  Late replies are ignored."""
+        return self._pending.pop(tx_digest, None) is not None
+
     def sent_at(self, tx_digest: Digest) -> float | None:
         """When the request was first tracked (survives completion, so
         latency can be measured after the receipt finishes)."""

@@ -116,6 +116,12 @@ class VirtualCPU:
         """The time at which ``lane`` finishes its accepted work."""
         return self._free[lane]
 
+    def backlog(self, kind: str, now: float) -> float:
+        """Seconds of accepted-but-unfinished work ahead of a new ``kind``
+        item submitted at ``now`` — the lane-schedule congestion signal
+        admission control reads (for parallel kinds: the earliest lane)."""
+        return max(0.0, self._free[self._lane_for(kind)] - now)
+
     def completion_time(self) -> float:
         """When every lane has drained its accepted work."""
         return max(self._free)

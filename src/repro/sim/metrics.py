@@ -104,16 +104,22 @@ class ThroughputMeter:
 class MetricsCollector:
     """Bundle of the stats a deployment run produces.
 
-    ``latency``/``goodput`` are recorded at clients, ``throughput`` and
-    ``queue_delay`` at replicas, ``offered`` at load generators.
+    ``latency``/``goodput`` are recorded at clients, ``throughput``,
+    ``queue_delay``, and ``admitted`` (requests the admission point let
+    in) at replicas, ``offered`` at load generators — so an overload
+    sweep reports offered vs. admitted vs. goodput separately.
     ``lane_utilization`` is a per-lane busy-fraction snapshot installed by
-    the bench harness (see :meth:`record_lane_utilization`).
+    the bench harness (see :meth:`record_lane_utilization`).  Counters
+    may be fractional: overload accounting records *wasted* busy time
+    (e.g. ``wasted_verify_s``, CPU spent verifying requests that were
+    shed afterwards) in seconds.
     """
 
     latency: LatencyStats = field(default_factory=LatencyStats)
     queue_delay: LatencyStats = field(default_factory=LatencyStats)
     throughput: ThroughputMeter = field(default_factory=ThroughputMeter)
     offered: ThroughputMeter = field(default_factory=ThroughputMeter)
+    admitted: ThroughputMeter = field(default_factory=ThroughputMeter)
     goodput: ThroughputMeter = field(default_factory=ThroughputMeter)
     counters: dict = field(default_factory=dict)
     lane_utilization: list[float] | None = None
@@ -140,9 +146,12 @@ class MetricsCollector:
         }
         if self.queue_delay.count:
             out["queue_delay_mean_ms"] = self.queue_delay.mean() * 1e3
+            out["queue_delay_p50_ms"] = self.queue_delay.p50() * 1e3
             out["queue_delay_p90_ms"] = self.queue_delay.p90() * 1e3
         if self.offered.committed:
             out["offered_tx_s"] = self.offered.throughput()
+        if self.admitted.committed:
+            out["admitted_tx_s"] = self.admitted.throughput()
         if self.goodput.committed:
             out["goodput_tx_s"] = self.goodput.throughput()
         if self.lane_utilization is not None:

@@ -119,6 +119,7 @@ class StateSyncMixin:
         self.request_order = []
         self.request_sources = {}
         self.request_arrivals = {}
+        self._verified_requests = set()
         self.pending_pps = []
         self.pending_commits = {}
         self.prepares_by_ppd = {}

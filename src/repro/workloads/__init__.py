@@ -9,6 +9,7 @@
 
 from .loadgen import (
     ArrivalProcess,
+    ExponentialBackoff,
     FixedRateArrivals,
     PoissonArrivals,
     make_arrivals,
@@ -25,6 +26,7 @@ from .smallbank import (
 
 __all__ = [
     "ArrivalProcess",
+    "ExponentialBackoff",
     "FixedRateArrivals",
     "PoissonArrivals",
     "make_arrivals",

@@ -85,6 +85,42 @@ class PoissonArrivals(ArrivalProcess):
         return self._rng.expovariate(self.rate)
 
 
+class ExponentialBackoff:
+    """Seeded exponential backoff with jitter, the client-side half of the
+    overload pipeline: ``delay(attempt) = min(base * factor**attempt,
+    cap) * (1 + jitter * u)`` with ``u`` drawn from a seeded RNG.
+
+    Deterministic for a given seed and call sequence, so two runs of the
+    same overload scenario back off at identical instants.  ``attempt``
+    counts completed (re)transmissions: attempt 0 is the delay before the
+    first retry.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.1,
+        factor: float = 2.0,
+        cap: float = 5.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if base <= 0 or factor < 1.0 or cap < base:
+            raise ValueError(f"bad backoff shape base={base} factor={factor} cap={cap}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"backoff jitter must be in [0, 1], got {jitter}")
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.jitter = jitter
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """The backoff delay before retry number ``attempt + 1``."""
+        raw = min(self.base * self.factor ** max(0, attempt), self.cap)
+        return raw * (1.0 + self.jitter * self._rng.random())
+
+
 def make_arrivals(kind: str, rate: float, seed: int = 0) -> ArrivalProcess:
     """Build an arrival process by name: ``"fixed"`` or ``"poisson"``."""
     if kind == "fixed":
