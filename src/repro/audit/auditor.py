@@ -29,7 +29,7 @@ from ..lpbft.config import ProtocolParams
 from ..lpbft.messages import BATCH_END_OF_CONFIG, bitmap_members
 from ..receipts.chain import GovernanceChain, find_chain_fork, longest_chain, verify_chain
 from ..receipts.receipt import Receipt, verify_receipt
-from .package import LedgerPackage, check_package_completeness
+from .package import LedgerPackage, check_package_completeness, retention_survivors
 from .replay import replay_ledger
 from .upom import (
     UPOM_BAD_CHECKPOINT,
@@ -94,7 +94,23 @@ class Auditor:
             # The enforcer already recorded unresponsiveness blame.
             result.notes.append("no ledger package obtained; enforcer holds the blame record")
             return result
-        self._audit_package(receipts, chains, schedule, package, result, replay)
+        survivors = self._audit_package(receipts, chains, schedule, package, result, replay)
+        if survivors and len(survivors) < len(receipts):
+            # Some receipts aged out below the GC retention window, but
+            # the rest are still auditable — re-collect a package scoped
+            # to them (the responder then picks the checkpoint matching
+            # *their* oldest dC) and run the full audit on that subset.
+            result.notes.append(
+                f"re-auditing {len(survivors)} of {len(receipts)} receipts within the "
+                f"retention window"
+            )
+            package = enforcer.collect_ledger_package(survivors, schedule)
+            if package is not None:
+                # One retry only: the survivor set was filtered by the
+                # same predicate completeness uses, so a second
+                # retention-only outcome means the window moved mid-audit
+                # — the remaining receipts keep their note.
+                self._audit_package(survivors, chains, schedule, package, result, replay)
         return result
 
     # -- step 1: governance chains (§5.3, Lemma 7) ------------------------------------------
@@ -199,12 +215,30 @@ class Auditor:
         package: LedgerPackage,
         result: AuditResult,
         replay: bool,
-    ) -> None:
+    ) -> "list[Receipt] | None":
+        """Run steps 3–5 against one package.  Returns None normally; when
+        the only completeness deficiencies are retention-related (some
+        receipts aged out below the GC window), returns the receipts the
+        package *can* still support so the caller re-audits them."""
         source = package.source_replica
         source_config = schedule.current()
 
         problems = check_package_completeness(package, receipts)
         if problems:
+            if all(p.startswith("retention:") for p in problems):
+                # The affected receipts reach below the service's GC
+                # retention window — a correct replica cannot produce the
+                # history anymore, so nobody is blamed.  A *faulty*
+                # responder cannot abuse this to dodge replay: the
+                # enforcer prefers the package with the lowest fragment
+                # start among all signers' responses, and a receipt's
+                # quorum contains at least f+1 correct replicas — this
+                # branch is reached only when even the most-history
+                # package cannot cover the receipt, i.e. the whole
+                # service aged it out.  Receipts still inside the window
+                # are handed back for a scoped re-audit.
+                result.notes.append("; ".join(problems))
+                return retention_survivors(package, receipts)
             result.upoms.append(
                 UPoM(
                     kind=UPOM_MALFORMED_LEDGER,
@@ -213,8 +247,8 @@ class Auditor:
                     detail="; ".join(problems),
                 )
             )
-            return
-        ledger = package.fragment.to_ledger()
+            return None
+        ledger = package.materialize_ledger()
         ledger_schedule = package.subledger.schedule
 
         # Governance fork between the client's chains and the ledger

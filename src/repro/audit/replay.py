@@ -6,6 +6,15 @@ re-executes every transaction after it, comparing outputs (client reply
 by checkpoint transactions.  Any divergence yields a finding blaming every
 replica that signed the batch — replay is the only check that catches
 ``N − f`` colluding replicas agreeing on a wrong result.
+
+*Checkpoint-rooted replay* (PR 5): the ledger may be a suffix-rooted
+:class:`~repro.ledger.Ledger` materialized from a GC'd replica's
+fragment + frontier.  Replay then necessarily starts from a checkpoint
+whose state the suffix vouches for (package completeness verifies its
+recording transaction and ledger binding); batches at or below the
+checkpoint are skipped exactly as they always were, so verdicts over the
+retained suffix — including uPoM blame — match what a genesis replay of
+the full ledger would have produced.
 """
 
 from __future__ import annotations

@@ -151,6 +151,8 @@ class LedgerRewriter(Behavior):
             checkpoint=package.checkpoint,
             subledger=package.subledger,
             source_replica=package.source_replica,
+            extra_evidence=package.extra_evidence,
+            frontier=package.frontier,
         )
 
 

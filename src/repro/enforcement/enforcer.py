@@ -76,7 +76,10 @@ class Enforcer:
             provider = self.providers.get(replica_id)
             package = provider(oldest) if provider is not None else None
             if package is None:
-                unresponsive.append(replica_id)
+                # One penalty per replica per failure, however many times
+                # an audit (or its retention-scoped retry) asks.
+                if replica_id not in self.blamed_unresponsive:
+                    unresponsive.append(replica_id)
                 continue
             responses.append(package)
         for replica_id in unresponsive:
@@ -94,10 +97,22 @@ class Enforcer:
             self.blamed_unresponsive.append(replica_id)
         if not responses:
             return None
-        # Prefer the longest fragment: an honest replica's ledger covers
-        # every receipt, and longer cannot hide earlier entries (they are
-        # bound by the Merkle roots).
-        return max(responses, key=lambda p: len(p.fragment))
+        # Prefer the package that can actually seed the replay: one whose
+        # checkpoint matches the oldest receipt's dC (a signer that pruned
+        # or withholds that snapshot loses to any signer still holding
+        # it), then the *most history* — lowest fragment start (a faulty
+        # signer cannot dodge replay by truncating its fragment above a
+        # disputed batch; the receipt's quorum contains at least f+1
+        # correct replicas), then the longest fragment (longer cannot
+        # hide earlier entries; they are bound by the Merkle roots).
+        def preference(p: LedgerPackage):
+            matches = (
+                p.checkpoint is not None
+                and p.checkpoint.digest() == oldest.checkpoint_digest
+            )
+            return (matches, -p.fragment.start, len(p.fragment))
+
+        return max(responses, key=preference)
 
     # -- punishment (§4.2) ------------------------------------------------------------
 

@@ -18,7 +18,7 @@ from .transactions import (
     accepted_configuration,
     clear_accepted_configuration,
 )
-from .subledger import GovernanceSubLedger, extract_governance_subledger
+from .subledger import GovernanceExtractor, GovernanceSubLedger, extract_governance_subledger
 
 __all__ = [
     "Configuration",
@@ -32,4 +32,5 @@ __all__ = [
     "clear_accepted_configuration",
     "GovernanceSubLedger",
     "extract_governance_subledger",
+    "GovernanceExtractor",
 ]

@@ -127,77 +127,113 @@ class GovernanceSubLedger:
         return True
 
 
-def extract_governance_subledger(entries: Iterable[LedgerEntry], pipeline: int) -> GovernanceSubLedger:
-    """Derive the governance sub-ledger from full-prefix ledger entries.
+class GovernanceExtractor:
+    """Resumable governance sub-ledger extraction.
 
-    ``entries`` must start at the genesis entry (ledger index 0);
-    ``pipeline`` is the protocol's pipeline depth P, which fixes where a
-    passed referendum takes effect (``final_vote_seqno + 2P + 1``).
+    The one-shot :func:`extract_governance_subledger` walks a full-prefix
+    entry sequence; with ledger prefix GC (PR 5) the full prefix stops
+    existing, so replicas keep one of these *archives* instead: before a
+    prefix is truncated its entries are fed in
+    (:meth:`feed`, contiguous, genesis first), and a current sub-ledger is
+    produced on demand by copying the archive and feeding it the retained
+    suffix (:meth:`~repro.lpbft.replica.LPBFTReplicaCore.governance_subledger`).
+    Feeding is strictly contiguous — :attr:`next_index` says where the
+    next batch of entries must start.
     """
-    registry = ProcedureRegistry()
-    register_governance_procedures(registry)
-    scratch = KVStore()
 
-    collected: list[tuple[int, tuple]] = []
-    reconfigs: list[ReconfigRecord] = []
-    schedule: ConfigSchedule | None = None
-    current_seqno = 0
-    # A referendum that has passed but not yet activated:
-    # (new_config, final_vote_seqno, final_vote_index, activation_seqno).
-    pending: tuple[Configuration, int, int, int] | None = None
-    pending_eoc: tuple[int, tuple] | None = None  # (seqno, pp_wire) of Pth eoc batch
+    def __init__(self, pipeline: int) -> None:
+        self.pipeline = pipeline
+        self.next_index = 0
+        self._registry = ProcedureRegistry()
+        register_governance_procedures(self._registry)
+        self._scratch = KVStore()
+        self._collected: list[tuple[int, tuple]] = []
+        self._reconfigs: list[ReconfigRecord] = []
+        self._schedule: ConfigSchedule | None = None
+        self._current_seqno = 0
+        # A referendum that has passed but not yet activated:
+        # (new_config, final_vote_seqno, final_vote_index, activation_seqno).
+        self._pending: tuple[Configuration, int, int, int] | None = None
+        self._pending_eoc: tuple[int, tuple] | None = None  # (seqno, pp_wire)
 
-    for index, entry in enumerate(entries):
+    def copy(self) -> "GovernanceExtractor":
+        """An independent copy (the archive stays reusable after the copy
+        is fed the retained suffix)."""
+        clone = GovernanceExtractor(self.pipeline)
+        clone.next_index = self.next_index
+        clone._scratch = KVStore(initial=self._scratch.snapshot())
+        clone._collected = list(self._collected)
+        clone._reconfigs = list(self._reconfigs)
+        clone._schedule = None if self._schedule is None else self._schedule.copy()
+        clone._current_seqno = self._current_seqno
+        clone._pending = self._pending
+        clone._pending_eoc = self._pending_eoc
+        return clone
+
+    def feed(self, entries: Iterable[LedgerEntry], start_index: int) -> "GovernanceExtractor":
+        """Consume ``entries``, which must start at absolute ledger index
+        ``start_index`` — exactly where the previous feed stopped."""
+        if start_index != self.next_index:
+            raise GovernanceError(
+                f"governance extraction is contiguous: expected entries from "
+                f"{self.next_index}, got {start_index}"
+            )
+        for entry in entries:
+            self._consume(self.next_index, entry)
+            self.next_index += 1
+        return self
+
+    def _consume(self, index: int, entry: LedgerEntry) -> None:
         if isinstance(entry, GenesisEntry):
-            if schedule is not None:
+            if self._schedule is not None:
                 raise GovernanceError(f"second genesis entry at ledger index {index}")
             config = Configuration.from_wire(entry.config_wire)
-            schedule = ConfigSchedule.genesis(config)
-            result, _ = scratch.execute(lambda tx: install_configuration(tx, config))
-            collected.append((index, entry.to_wire()))
-            continue
-        if schedule is None:
+            self._schedule = ConfigSchedule.genesis(config)
+            self._scratch.execute(lambda tx: install_configuration(tx, config))
+            self._collected.append((index, entry.to_wire()))
+            return
+        if self._schedule is None:
             raise GovernanceError("ledger does not start with a genesis entry")
         if isinstance(entry, PrePrepareEntry):
             pp = entry.pre_prepare()
-            current_seqno = pp.seqno
-            if pending is not None and pp.flags == BATCH_END_OF_CONFIG:
-                _, vote_seqno, _, _ = pending
-                if pp.seqno == vote_seqno + pipeline:
+            self._current_seqno = pp.seqno
+            if self._pending is not None and pp.flags == BATCH_END_OF_CONFIG:
+                _, vote_seqno, _, _ = self._pending
+                if pp.seqno == vote_seqno + self.pipeline:
                     # The Pth end-of-configuration batch: the one clients
                     # keep a receipt for, and the fork-detection anchor.
-                    pending_eoc = (pp.seqno, pp.to_wire())
-                    collected.append((index, entry.to_wire()))
-            if pending is not None and pp.seqno >= pending[3]:
-                new_config, vote_seqno, vote_index, activation = pending
-                if pending_eoc is None:
+                    self._pending_eoc = (pp.seqno, pp.to_wire())
+                    self._collected.append((index, entry.to_wire()))
+            if self._pending is not None and pp.seqno >= self._pending[3]:
+                new_config, vote_seqno, vote_index, activation = self._pending
+                if self._pending_eoc is None:
                     raise GovernanceError(
                         f"configuration {new_config.number} activates at {activation} "
                         f"without a Pth end-of-configuration batch"
                     )
-                schedule.append(
+                self._schedule.append(
                     ConfigSpan(config=new_config, start_seqno=activation, start_index=index)
                 )
-                reconfigs.append(
+                self._reconfigs.append(
                     ReconfigRecord(
                         new_config=new_config,
                         final_vote_seqno=vote_seqno,
                         final_vote_index=vote_index,
-                        eoc_seqno=pending_eoc[0],
-                        eoc_pp_wire=pending_eoc[1],
+                        eoc_seqno=self._pending_eoc[0],
+                        eoc_pp_wire=self._pending_eoc[1],
                         start_seqno=activation,
                     )
                 )
-                scratch.execute(lambda tx: install_configuration(tx, new_config))
-                pending = None
-                pending_eoc = None
-            continue
+                self._scratch.execute(lambda tx: install_configuration(tx, new_config))
+                self._pending = None
+                self._pending_eoc = None
+            return
         if isinstance(entry, TxEntry) and entry.request_wire[1].startswith("gov."):
             request = entry.request()
-            registry_result, _ = scratch.execute(
-                lambda tx: registry.invoke(request.procedure, tx, request.args)
+            self._scratch.execute(
+                lambda tx: self._registry.invoke(request.procedure, tx, request.args)
             )
-            collected.append((index, entry.to_wire()))
+            self._collected.append((index, entry.to_wire()))
             # Did this transaction pass a referendum?
             accepted: list[Configuration | None] = [None]
 
@@ -207,15 +243,32 @@ def extract_governance_subledger(entries: Iterable[LedgerEntry], pipeline: int) 
                     clear_accepted_configuration(tx)
                 return None
 
-            scratch.execute(read_accepted)
+            self._scratch.execute(read_accepted)
             if accepted[0] is not None:
-                pending = (
+                self._pending = (
                     accepted[0],
-                    current_seqno,
+                    self._current_seqno,
                     index,
-                    current_seqno + 2 * pipeline + 1,
+                    self._current_seqno + 2 * self.pipeline + 1,
                 )
 
-    if schedule is None:
-        raise GovernanceError("no genesis entry found")
-    return GovernanceSubLedger(entries=collected, schedule=schedule, reconfigs=reconfigs)
+    def subledger(self) -> GovernanceSubLedger:
+        """The sub-ledger implied by everything fed so far (a snapshot —
+        further feeds do not mutate it)."""
+        if self._schedule is None:
+            raise GovernanceError("no genesis entry found")
+        return GovernanceSubLedger(
+            entries=list(self._collected),
+            schedule=self._schedule.copy(),
+            reconfigs=list(self._reconfigs),
+        )
+
+
+def extract_governance_subledger(entries: Iterable[LedgerEntry], pipeline: int) -> GovernanceSubLedger:
+    """Derive the governance sub-ledger from full-prefix ledger entries.
+
+    ``entries`` must start at the genesis entry (ledger index 0);
+    ``pipeline`` is the protocol's pipeline depth P, which fixes where a
+    passed referendum takes effect (``final_vote_seqno + 2P + 1``).
+    """
+    return GovernanceExtractor(pipeline).feed(entries, 0).subledger()

@@ -9,6 +9,17 @@ ledger Merkle tree M appends the digest of every entry in ledger order,
 and the ``root_m`` signed in each pre-prepare is the root of M over all
 entries *before* that pre-prepare entry — so each signed batch commits the
 replica to the entire preceding ledger.
+
+Ledger *prefix garbage collection*: once audits can run from a stable
+checkpoint (PR 5), the entries below the oldest stable checkpoint are
+dead weight — :meth:`Ledger.truncate_below` drops them, compacting the
+tree M down to the boundary's frontier.  All indices stay *absolute*
+(entry 1000 keeps index 1000 after the first 900 are collected); reads
+below :attr:`Ledger.base_index` raise :class:`~repro.errors.LedgerError`.
+A ledger can also be *born* at a boundary
+(:meth:`Ledger.from_fragment_suffix`): seeded from a checkpoint's
+frontier, it holds only the suffix — how state-synced replicas and
+checkpoint-rooted auditors materialize fetched fragments.
 """
 
 from __future__ import annotations
@@ -50,11 +61,19 @@ class BatchInfo:
         return self.first_tx + self.tx_count
 
 
+def _is_gov_entry(entry: LedgerEntry) -> bool:
+    return isinstance(entry, GenesisEntry) or (
+        isinstance(entry, TxEntry) and entry.request_wire[1].startswith("gov.")
+    )
+
+
 class Ledger:
     """Append-only ledger with the ledger Merkle tree M.
 
-    Entries are indexed by position; the tree has one leaf per entry, in
-    order.  Rollback (Lemma 1) truncates both.
+    Entries are indexed by absolute position; the tree has one leaf per
+    entry, in order.  Rollback (Lemma 1) truncates both; prefix GC
+    (:meth:`truncate_below`) drops entries below a checkpoint boundary
+    while every retained index keeps its meaning.
     """
 
     def __init__(self, genesis: GenesisEntry | None = None) -> None:
@@ -63,20 +82,81 @@ class Ledger:
         self._batches: dict[int, BatchInfo] = {}
         self._batch_order: list[int] = []
         self._last_gov_index = 0
+        # Prefix-GC state: _base is the absolute index of the first
+        # retained entry; _logical_base counts the logical indices the
+        # pruned prefix consumed; _gov_floor remembers the last governance
+        # logical index that was garbage-collected, so rollbacks that find
+        # no retained governance entry still report the right ig.
+        self._base = 0
+        self._logical_base = 0
+        self._gov_floor = 0
         # Logical indices: every entry except view-change/new-view records
         # consumes one.  Transactions keep their logical index across view
         # changes even though the vc/nv entries shift physical positions,
         # so re-executed batches reproduce the original ⟨t, i, o⟩ triples
         # (§3.2: re-execution must match the original ¯G).
+        # _logical_to_position[k] is the absolute position of logical
+        # index _logical_base + k.
         self._logical_to_position: list[int] = []
         if genesis is not None:
             self.append(genesis)
 
+    @staticmethod
+    def from_fragment_suffix(fragment: "LedgerFragment", frontier: tuple) -> "Ledger":
+        """Materialize a suffix fragment into a boundary-rooted ledger.
+
+        ``frontier`` is the tree M's peak decomposition at
+        ``fragment.start`` (as shipped in sync manifests and audit
+        packages); its implied size must equal the fragment start.  The
+        resulting ledger answers ``root_at``/``path`` for every size at or
+        past the boundary — the caller verifies those roots against signed
+        pre-prepares, which is what binds the suffix to the collected
+        prefix.  The logical index base is recovered from the suffix's own
+        indexed entries.
+        """
+        if fragment.start == 0:
+            return fragment.to_ledger()
+        tree = MerkleTree.from_frontier(frontier)
+        if len(tree) != fragment.start:
+            raise LedgerError(
+                f"frontier implies {len(tree)} pruned entries, fragment starts at {fragment.start}"
+            )
+        entries = fragment.entries()
+        # Back out the logical base from the first entry that carries an
+        # explicit logical index: every non-vc/nv entry before it in the
+        # suffix consumed one logical slot.
+        logical_base = None
+        consumed = 0
+        for entry in entries:
+            if isinstance(entry, (ViewChangesEntry, NewViewEntry)):
+                continue
+            if isinstance(entry, (TxEntry, CheckpointTxEntry)):
+                logical_base = entry.index - consumed
+                break
+            consumed += 1
+        if logical_base is None:
+            raise LedgerError("suffix fragment carries no indexed entry to anchor logical indices")
+        ledger = Ledger()
+        ledger._tree = tree
+        ledger._base = fragment.start
+        ledger._logical_base = logical_base
+        for entry in entries:
+            ledger.append(entry)
+        # The pruned prefix's last governance index is signed into the
+        # first suffix batch's pre-prepare (ig covers everything strictly
+        # before it).  Anchor the floor there unconditionally: a rollback
+        # past a governance transaction *inside* the suffix must fall back
+        # to the prefix's ig, not to 0.
+        if ledger._batch_order:
+            ledger._gov_floor = ledger.batch_pre_prepare(ledger._batch_order[0]).gov_index
+            ledger._last_gov_index = max(ledger._last_gov_index, ledger._gov_floor)
+        return ledger
+
     # -- append / read ---------------------------------------------------
 
     def append(self, entry: LedgerEntry) -> int:
-        """Append an entry; returns its physical position."""
-        index = len(self._entries)
+        """Append an entry; returns its absolute position."""
+        index = len(self)
         self._entries.append(entry)
         self._tree.append(entry.digest())
         if not isinstance(entry, (ViewChangesEntry, NewViewEntry)):
@@ -104,29 +184,55 @@ class Ledger:
         return index
 
     def __len__(self) -> int:
+        """Total (absolute) ledger length, garbage-collected prefix included."""
+        return self._base + len(self._entries)
+
+    @property
+    def base_index(self) -> int:
+        """Absolute index of the first retained entry (0 when no prefix
+        has been garbage-collected)."""
+        return self._base
+
+    def resident_entries(self) -> int:
+        """How many entries are actually held in memory."""
         return len(self._entries)
 
     def logical_size(self) -> int:
         """Number of logical indices consumed (excludes vc/nv entries)."""
-        return len(self._logical_to_position)
+        return self._logical_base + len(self._logical_to_position)
 
     def entry_at_index(self, logical_index: int) -> LedgerEntry:
         """The entry with the given *logical* index (the index space
         transactions and receipts use)."""
-        if not 0 <= logical_index < len(self._logical_to_position):
+        offset = logical_index - self._logical_base
+        if not 0 <= offset < len(self._logical_to_position):
             raise LedgerError(
-                f"logical index {logical_index} out of range [0, {len(self._logical_to_position)})"
+                f"logical index {logical_index} outside retained range "
+                f"[{self._logical_base}, {self.logical_size()})"
             )
-        return self._entries[self._logical_to_position[logical_index]]
+        return self._entries[self._logical_to_position[offset] - self._base]
 
     def entry(self, index: int) -> LedgerEntry:
-        if not 0 <= index < len(self._entries):
-            raise LedgerError(f"ledger index {index} out of range [0, {len(self._entries)})")
-        return self._entries[index]
+        if not self._base <= index < len(self):
+            raise LedgerError(
+                f"ledger index {index} outside retained range [{self._base}, {len(self)})"
+            )
+        return self._entries[index - self._base]
 
-    def entries(self, start: int = 0, end: int | None = None) -> list[LedgerEntry]:
-        """Entries in ``[start, end)`` (default: to the end)."""
-        return self._entries[start : len(self._entries) if end is None else end]
+    def entries(self, start: int | None = None, end: int | None = None) -> list[LedgerEntry]:
+        """Entries in ``[start, end)``; ``start`` defaults to the retained
+        base, ``end`` to the ledger length.  Asking for a start below the
+        retained base raises — callers that need the pruned prefix must go
+        through the governance archive or a checkpoint."""
+        start = self._base if start is None else start
+        end = len(self) if end is None else end
+        if start < self._base:
+            raise LedgerError(
+                f"entries from {start} were garbage-collected (retained from {self._base})"
+            )
+        if not start <= end <= len(self):
+            raise LedgerError(f"bad entry range [{start}, {end}) for ledger of {len(self)}")
+        return self._entries[start - self._base : end - self._base]
 
     def __iter__(self) -> Iterator[LedgerEntry]:
         return iter(self._entries)
@@ -148,30 +254,34 @@ class Ledger:
     # -- batches -----------------------------------------------------------
 
     def batch(self, seqno: int) -> BatchInfo | None:
-        """Locator for the batch at ``seqno`` (None if absent)."""
+        """Locator for the batch at ``seqno`` (None if absent or pruned)."""
         return self._batches.get(seqno)
 
     def batches(self) -> list[BatchInfo]:
-        """All batches in ledger order."""
+        """All retained batches in ledger order."""
         return [self._batches[s] for s in self._batch_order]
 
     def last_seqno(self) -> int:
         """Sequence number of the newest batch (0 if none)."""
         return self._batch_order[-1] if self._batch_order else 0
 
+    def oldest_retained_seqno(self) -> int | None:
+        """Sequence number of the oldest retained batch (None if none)."""
+        return self._batch_order[0] if self._batch_order else None
+
     def batch_entries(self, seqno: int) -> list[LedgerEntry]:
         """The tx/checkpoint entries of the batch at ``seqno``."""
         info = self._batches.get(seqno)
         if info is None:
             raise LedgerError(f"no batch at seqno {seqno}")
-        return self._entries[info.first_tx : info.end]
+        return self._entries[info.first_tx - self._base : info.end - self._base]
 
     def batch_pre_prepare(self, seqno: int):
         """The pre-prepare message of the batch at ``seqno``."""
         info = self._batches.get(seqno)
         if info is None:
             raise LedgerError(f"no batch at seqno {seqno}")
-        entry = self._entries[info.pp_index]
+        entry = self._entries[info.pp_index - self._base]
         assert isinstance(entry, PrePrepareEntry)
         return entry.pre_prepare()
 
@@ -183,24 +293,28 @@ class Ledger:
         return self._last_gov_index
 
     def governance_indices(self) -> list[int]:
-        """Ledger indices of all governance transactions (genesis included)."""
+        """Absolute indices of retained governance transactions (genesis
+        included when retained)."""
         result = []
         for i, entry in enumerate(self._entries):
-            if isinstance(entry, GenesisEntry):
-                result.append(i)
-            elif isinstance(entry, TxEntry) and entry.request_wire[1].startswith("gov."):
-                result.append(i)
+            if _is_gov_entry(entry):
+                result.append(self._base + i)
         return result
 
     # -- rollback (Lemma 1) ----------------------------------------------------
 
     def truncate(self, size: int) -> list[LedgerEntry]:
         """Roll back to the first ``size`` entries; returns removed entries
-        (oldest first) so the caller can undo kv-store effects."""
-        if not 0 <= size <= len(self._entries):
-            raise LedgerError(f"cannot truncate to {size}, ledger has {len(self._entries)}")
-        removed = self._entries[size:]
-        del self._entries[size:]
+        (oldest first) so the caller can undo kv-store effects.  ``size``
+        must be at or above the retained base: rollback only ever undoes
+        uncommitted batches, which sit above every stable checkpoint the
+        GC boundary is allowed to reach."""
+        if not self._base <= size <= len(self):
+            raise LedgerError(
+                f"cannot truncate to {size}, ledger retains [{self._base}, {len(self)})"
+            )
+        removed = self._entries[size - self._base :]
+        del self._entries[size - self._base :]
         self._tree.truncate(size)
         # Rebuild batch index for the removed suffix.
         for entry in removed:
@@ -211,28 +325,88 @@ class Ledger:
         # Repair tx counts of a batch that lost a suffix of its entries.
         if self._batch_order:
             info = self._batches[self._batch_order[-1]]
-            info.tx_count = min(info.tx_count, max(0, len(self._entries) - info.first_tx))
-        # Recompute last governance index (logical).
-        self._last_gov_index = 0
-        for logical in range(len(self._logical_to_position) - 1, -1, -1):
-            entry = self._entries[self._logical_to_position[logical]]
-            if isinstance(entry, GenesisEntry) or (
-                isinstance(entry, TxEntry) and entry.request_wire[1].startswith("gov.")
-            ):
-                self._last_gov_index = logical
+            info.tx_count = min(info.tx_count, max(0, size - info.first_tx))
+        # Recompute last governance index (logical); when no governance
+        # entry survives in the retained window, the pruned prefix's
+        # floor is the answer.
+        self._last_gov_index = self._gov_floor
+        for offset in range(len(self._logical_to_position) - 1, -1, -1):
+            entry = self._entries[self._logical_to_position[offset] - self._base]
+            if _is_gov_entry(entry):
+                self._last_gov_index = self._logical_base + offset
                 break
         return removed
 
+    # -- prefix garbage collection (PR 5) ---------------------------------------
+
+    def truncate_below(self, boundary: int) -> int:
+        """Garbage-collect every entry below absolute index ``boundary``.
+
+        ``boundary`` must sit on a batch boundary — in practice a stable
+        checkpoint's ``ledger_size``, which is captured right after its
+        batch's last entry — so no batch is ever split.  The tree M is
+        compacted to the boundary's frontier (roots and inclusion paths
+        for the retained suffix keep working; reads below raise).  Returns
+        the number of entries dropped.
+        """
+        if not self._base <= boundary <= len(self):
+            raise LedgerError(
+                f"cannot truncate below {boundary}, ledger retains [{self._base}, {len(self)})"
+            )
+        if boundary == self._base:
+            return 0
+        for info in self._batches.values():
+            if info.pp_index < boundary < info.end:
+                raise LedgerError(
+                    f"boundary {boundary} splits batch {info.seqno} "
+                    f"[{info.pp_index}, {info.end})"
+                )
+        dropped = self._entries[: boundary - self._base]
+        # Remember the newest pruned governance logical index before the
+        # entries disappear (rollback recomputation falls back to it).
+        logical = self._logical_base
+        for entry in dropped:
+            if isinstance(entry, (ViewChangesEntry, NewViewEntry)):
+                continue
+            if _is_gov_entry(entry):
+                self._gov_floor = logical
+            logical += 1
+        del self._entries[: boundary - self._base]
+        self._tree.compact_below(boundary)
+        pruned_seqnos = [s for s, info in self._batches.items() if info.end <= boundary]
+        for seqno in pruned_seqnos:
+            del self._batches[seqno]
+        self._batch_order = [s for s in self._batch_order if s in self._batches]
+        keep_from = 0
+        for keep_from, position in enumerate(self._logical_to_position):
+            if position >= boundary:
+                break
+        else:
+            keep_from = len(self._logical_to_position)
+        del self._logical_to_position[:keep_from]
+        self._logical_base += keep_from
+        self._base = boundary
+        return len(dropped)
+
     # -- fragments -----------------------------------------------------------
 
-    def fragment(self, start: int = 0, end: int | None = None) -> "LedgerFragment":
-        """A serializable slice ``[start, end)`` for auditors."""
-        end = len(self._entries) if end is None else end
-        if not 0 <= start <= end <= len(self._entries):
+    def fragment(self, start: int | None = None, end: int | None = None) -> "LedgerFragment":
+        """A serializable slice ``[start, end)`` for auditors; ``start``
+        defaults to the retained base (the whole ledger when nothing has
+        been garbage-collected)."""
+        start = self._base if start is None else start
+        end = len(self) if end is None else end
+        if start < self._base:
+            raise LedgerError(
+                f"fragment from {start} was garbage-collected (retained from {self._base})"
+            )
+        if not start <= end <= len(self):
             raise LedgerError(f"bad fragment range [{start}, {end})")
         return LedgerFragment(
             start=start,
-            entry_wires=tuple(e.to_wire() for e in self._entries[start:end]),
+            entry_wires=tuple(
+                e.to_wire() for e in self._entries[start - self._base : end - self._base]
+            ),
         )
 
 
@@ -265,7 +439,9 @@ class LedgerFragment:
         return entry_from_wire(self.entry_wires[index - self.start])
 
     def to_ledger(self) -> Ledger:
-        """Materialize a fragment that starts at 0 into a :class:`Ledger`."""
+        """Materialize a fragment that starts at 0 into a :class:`Ledger`
+        (suffix fragments need :meth:`Ledger.from_fragment_suffix` and a
+        boundary frontier)."""
         if self.start != 0:
             raise LedgerError("only full-prefix fragments can be materialized")
         ledger = Ledger()

@@ -74,6 +74,16 @@ class CheckpointDirectory:
         del self._records[keep:]
         del self._seqnos[keep:]
 
+    def prune_records_below(self, record_seqno: int) -> None:
+        """Drop records from batches below ``record_seqno`` (ledger prefix
+        GC, PR 5).  Their checkpoints are no longer held and their batches
+        can never be re-proposed; keeping them would make the per-
+        stabilization oldest-stable scan O(total history) instead of
+        O(retention window)."""
+        keep = bisect_left(self._seqnos, record_seqno)
+        del self._records[:keep]
+        del self._seqnos[:keep]
+
     def reference_for(self, seqno: int) -> tuple[int, Digest]:
         """The ``(cp_seqno, digest)`` that the pre-prepare at ``seqno``
         must carry as dC: the last recorded checkpoint *strictly* before

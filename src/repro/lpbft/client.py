@@ -91,6 +91,16 @@ class LPBFTClient(Node):
         self._attempts: dict[Digest, int] = {}
         self._next_retry: dict[Digest, float] = {}
         self._rejected_attempt: dict[Digest, int] = {}
+        # Transactions whose batch fell below the service's ledger-GC
+        # retention horizon before a receipt could be assembled:
+        # tx digest -> (checkpoint seqno, checkpoint digest dC) that now
+        # vouches for their effects — or None when the reporters did not
+        # agree on a single checkpoint.  Individual ``replyx-gone``
+        # reports accumulate per sender below; only f+1 distinct replicas
+        # saying "collected" is believed (a single Byzantine replica must
+        # not be able to make the client abandon a live receipt).
+        self.gc_unavailable: dict[Digest, tuple[int, bytes] | None] = {}
+        self._gone_reports: dict[Digest, dict[str, tuple[int, bytes]]] = {}
 
     # -- submitting requests ----------------------------------------------------
 
@@ -152,6 +162,8 @@ class LPBFTClient(Node):
                 self._complete(replyx.tx_digest, finished)
         elif kind == "reject":
             self._handle_reject(msg[1], msg[2])
+        elif kind == "replyx-gone":
+            self._handle_replyx_gone(src, msg[1], msg[2], msg[3])
         elif kind == "gov-chain-resp":
             self._handle_gov_chain(msg[1])
 
@@ -162,6 +174,7 @@ class LPBFTClient(Node):
         self._attempts.pop(tx_digest, None)
         self._next_retry.pop(tx_digest, None)
         self._rejected_attempt.pop(tx_digest, None)
+        self._gone_reports.pop(tx_digest, None)
         if receipt.index is not None:
             self.max_seen_index = max(self.max_seen_index, receipt.index)
         sent = self.collector.sent_at(tx_digest)
@@ -242,12 +255,56 @@ class LPBFTClient(Node):
             return
         self._next_retry[tx_digest] = self.now + self._backoff_policy().delay(attempt)
 
+    def _handle_replyx_gone(
+        self, src: str, tx_digest: Digest, cp_seqno: int, cp_digest: bytes
+    ) -> None:
+        """A replica reports the transaction's batch was garbage-collected
+        below the retention horizon: no ``replyx`` can ever be rebuilt
+        there.  A single report is not believed — a lone Byzantine replica
+        could otherwise kill receipt assembly for a live transaction —
+        but once **f + 1 distinct replicas** report the batch collected,
+        at least one correct replica vouches, so assembly is abandoned
+        and the newest reported vouching checkpoint (seqno, dC) is
+        recorded: the client's proof duty moves to the checkpoint chain
+        (it should have collected the receipt promptly; §4.1 audits of
+        that span now run from checkpoint state too).  The retry loop
+        keeps rotating through replicas meanwhile, so an honest holder is
+        still asked."""
+        if tx_digest in self.receipts or self.collector.request_wire(tx_digest) is None:
+            return
+        reports = self._gone_reports.setdefault(tx_digest, {})
+        reports[src] = (cp_seqno, cp_digest)
+        # The *abandon* decision needs f + 1 distinct reporters (at least
+        # one correct replica then vouches the batch is collected).  The
+        # recorded *anchor* is held to a higher bar: f + 1 reporters must
+        # agree on the same (seqno, dC) — honest replicas GC with some
+        # skew and may cite different oldest-stable checkpoints, and a
+        # lone Byzantine claim must never become the digest the client
+        # anchors its proof duty on.  Without agreement the transaction is
+        # still marked collected, anchor None (re-derivable from any later
+        # audit or governance fetch).
+        f = self.collector.config.f
+        if len(reports) < f + 1:
+            return
+        counts: dict[tuple[int, bytes], int] = {}
+        for claim in reports.values():
+            counts[claim] = counts.get(claim, 0) + 1
+        agreed, n = max(counts.items(), key=lambda item: item[1])
+        self.gc_unavailable[tx_digest] = agreed if n >= f + 1 else None
+        if self.collector.abandon(tx_digest) and self.recording:
+            self.metrics.bump("receipts_gc_unavailable")
+        self._gone_reports.pop(tx_digest, None)
+        self._attempts.pop(tx_digest, None)
+        self._next_retry.pop(tx_digest, None)
+        self._rejected_attempt.pop(tx_digest, None)
+
     def _abandon(self, tx_digest: Digest) -> None:
         if self.collector.abandon(tx_digest) and self.recording:
             self.metrics.bump("requests_abandoned")
         self._attempts.pop(tx_digest, None)
         self._next_retry.pop(tx_digest, None)
         self._rejected_attempt.pop(tx_digest, None)
+        self._gone_reports.pop(tx_digest, None)
 
     def _on_retry_timer(self) -> None:
         """Retransmit stale requests and ask an alternate replica for the

@@ -73,6 +73,20 @@ class ProtocolParams:
     sync_max_retries: int = 3
     sync_lag_batches: int = 0
 
+    # Ledger prefix garbage collection (PR 5).  After a checkpoint
+    # stabilizes, the ledger entries below the *oldest* retained stable
+    # checkpoint are truncated (their tree M prefix is compacted to a
+    # frontier): audits, receipt rebuilds, and state transfers then run
+    # from checkpoint state instead of genesis.  The retention policy
+    # additionally honors pins (``LPBFTReplica.retention``; the statesync
+    # server pins the checkpoint it serves, and the same API holds the
+    # ledger for long-running audit collection), and never collects
+    # history younger than ``ledger_gc_min_age`` seconds — the grace
+    # window in which clients still fetch receipts for recent
+    # transactions (``replyx`` rebuilds) and auditors assemble packages.
+    ledger_gc: bool = True
+    ledger_gc_min_age: float = 5.0
+
     # Feature toggles (Tab. 3 variants).
     receipts: bool = True
     checkpoints: bool = True
@@ -105,6 +119,8 @@ class ProtocolParams:
             raise ValueError("admission_backlog must be non-negative")
         if self.lane_backlog_budget <= 0:
             raise ValueError("lane_backlog_budget must be positive")
+        if self.ledger_gc_min_age < 0:
+            raise ValueError("ledger_gc_min_age must be non-negative")
 
     def admission_budget(self) -> float:
         """The ingress backlog budget in seconds (auto: a quarter of the

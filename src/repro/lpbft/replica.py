@@ -61,6 +61,7 @@ from ..ledger import (
     Ledger,
     NoncesEntry,
     PrePrepareEntry,
+    RetentionPolicy,
     TxEntry,
 )
 from ..merkle import MerkleTree
@@ -221,6 +222,14 @@ class LPBFTReplicaCore(Node):
         self.cp_directory = CheckpointDirectory(self.checkpoints[0].digest())
         self.last_taken_cp = 0
         self.last_recorded_cp = -1
+        # Ledger prefix GC (PR 5): pins held by in-flight state transfers
+        # and pending audit packages, and the governance archive that
+        # preserves the sub-ledger across truncations (created lazily at
+        # the first truncation; None also marks a suffix-installed replica
+        # that never held the genesis prefix).
+        self.retention = RetentionPolicy()
+        self._gov_archive = None
+        self._cp_taken_at: dict[int, float] = {0: 0.0}
 
         # Protocol state (Alg. 1).
         self.view = 0
@@ -249,6 +258,9 @@ class LPBFTReplicaCore(Node):
         self.own_nonces: dict[tuple[int, int], NonceCommitment] = {}
         self.tx_locations: dict[Digest, tuple[int, int]] = {}  # digest -> (seqno, index)
         self.pending_pps: list[tuple[tuple, tuple]] = []  # stashed (pp_wire, digests)
+        # Peers we have an outstanding legacy fetch-ledger to: only a
+        # solicited `ledger-gone` may suspend us into a state transfer.
+        self._fetch_ledger_pending: set[str] = set()
         # View of the last pre-prepare dropped for being *below* our view —
         # a sign we over-advanced and the service moved on without us.
         self._last_lower_view_drop: int | None = None
@@ -440,6 +452,37 @@ class LPBFTReplicaCore(Node):
         self._retry_pending_pps()
 
     # -- admission control (overload pipeline) -------------------------------------
+    #
+    # The PR 4 coordinated-admission path, end to end.  A request travels:
+    #
+    #   handle_request ──(primary)──▶ _admission_check ──admit──▶ verify now
+    #        │                              │                        │
+    #        │ (backup)                     └─shed──▶ reject to      ▼
+    #        ▼                                        client      queue (T)
+    #   _stash_has_room ──full──▶ drop oldest-expired               │
+    #        │                                                      ▼
+    #        └─room──▶ stash raw (maybe pre-verify          _select_requests
+    #                  when verify lanes idle)               (deadline shed)
+    #                                                               │
+    #   backups at pre-prepare time: _ensure_verified ◀─────────────┘
+    #   (batched fan-out; a sequenced bad signature ⇒ suspect primary)
+    #
+    # Knobs and their meaning (all on ProtocolParams):
+    # - request_queue_cap: hard memory bound on the queue/stash;
+    # - lane_backlog_budget: execute-lane occupancy (seconds) beyond which
+    #   ingress sheds regardless of queue length — lane backlog delays
+    #   every protocol round, so it must stay small for consensus cadence;
+    # - admission_backlog (0 = client_timeout/4): projected queue drain
+    #   budget; _service_time_estimate (execute-cost EWMA + amortized
+    #   verify) converts queue length into seconds;
+    # - deadline_shedding/client_timeout: _select_requests drops queued
+    #   work whose projected completion (waited + lane backlog + position
+    #   × service estimate) the client would no longer wait for.
+    #
+    # Invariants: the primary is the *only* admission point (backups never
+    # shed what the primary may sequence — no fetch storms), verification
+    # is paid at most once per request (wasted_verify_s counts the
+    # exceptions), and every shed is audible to the client as a reject.
 
     def _service_time_estimate(self) -> float:
         """Projected serial-capacity seconds one queued request consumes:
@@ -1333,10 +1376,22 @@ class LPBFTReplicaCore(Node):
     def _replyx_from_ledger(self, tx_digest: Digest, located: tuple[int, int], src: str) -> None:
         """Rebuild a replyx for a committed-and-pruned batch from ledger
         entries alone: the pre-prepare, the (t, i, o) triples, and a fresh
-        per-batch tree G for the inclusion path."""
+        per-batch tree G for the inclusion path.
+
+        For a batch below the ledger-GC horizon the entries themselves are
+        gone; the fallback is the checkpoint that superseded them — the
+        client is told its transaction's effects are vouched for by the
+        oldest retained stable checkpoint (digest dC), which is the best
+        any replica can attest once the prefix is collected."""
         seqno, index = located
         info = self.ledger.batch(seqno)
         if info is None:
+            oldest = self.ledger.oldest_retained_seqno()
+            if oldest is not None and seqno < oldest:
+                cp = self._oldest_stable_checkpoint()
+                if cp is not None and seqno <= cp.seqno:
+                    self.send(src, ("replyx-gone", tx_digest, cp.seqno, cp.digest()))
+                    self.metrics.bump("receipts_gone_gc")
             return
         pp = self.ledger.batch_pre_prepare(seqno)
         g_tree = MerkleTree()
@@ -1386,9 +1441,11 @@ class LPBFTReplicaCore(Node):
             return
         self.submit("hash", len(self.kv) * self.costs.checkpoint_per_entry)
         self.checkpoints[s] = Checkpoint.capture(self.kv, s, len(self.ledger), self.ledger.root())
+        self._cp_taken_at[s] = self.now
         self.last_taken_cp = s
         self.metrics.bump("checkpoints_taken")
         self._garbage_collect(s)
+        self._maybe_truncate_ledger()
 
     def _garbage_collect(self, stable_seqno: int) -> None:
         """Prune message stores for batches older than the previous
@@ -1413,6 +1470,134 @@ class LPBFTReplicaCore(Node):
         old_cps = sorted(s for s in self.checkpoints if s < horizon)
         for s in old_cps[:-1]:
             del self.checkpoints[s]
+            self._cp_taken_at.pop(s, None)
+
+    # -- ledger prefix GC (PR 5) ---------------------------------------------------------
+
+    def _oldest_stable_checkpoint(self) -> Checkpoint | None:
+        """The oldest retained checkpoint (seqno > 0) whose recording
+        checkpoint transaction sits in a *committed* batch — commitment
+        means a quorum signed the chain of roots covering the record, so
+        truncating below its state can never orphan an audit of the
+        retained suffix."""
+        for record in self.cp_directory.records():
+            if record.record_seqno > self.committed_upto:
+                break
+            cp = self.checkpoints.get(record.cp_seqno)
+            if cp is not None and cp.seqno > 0 and cp.digest() == record.digest:
+                return cp
+        return None
+
+    def _maybe_truncate_ledger(self) -> None:
+        """Garbage-collect the ledger prefix below the oldest stable
+        checkpoint, clamped by retention pins (the statesync server's
+        in-flight-transfer pin; the same API serves long-running audit
+        collection).  Called after checkpoint stabilization; the
+        governance sub-ledger of the pruned region is archived first so
+        audits keep a complete configuration history."""
+        if not (self.params.ledger_gc and self.params.checkpoints and self.params.ledger):
+            return
+        # Without state sync, whole-ledger fetch is the only recovery path
+        # peers have — collecting the prefix would strand them, so GC is
+        # gated on the checkpoint-rooted transfer protocol being enabled.
+        if not self.params.state_sync:
+            return
+        # A completed/abandoned state transfer must not hold its serve pin
+        # forever; the server releases it once clients go quiet.
+        server = getattr(self, "sync_server", None)
+        if server is not None:
+            server.release_stale_pin()
+        stable = self._oldest_stable_checkpoint()
+        if stable is None:
+            return
+        # Age floor: recent history stays fetchable (client replyx
+        # rebuilds, audit package assembly) for at least the grace window.
+        taken = self._cp_taken_at.get(stable.seqno)
+        if taken is None or self.now - taken < self.params.ledger_gc_min_age:
+            return
+        boundary = self.retention.boundary(stable.ledger_size)
+        # Pins may sit anywhere; truncation must land on a batch boundary.
+        boundary = self._align_gc_boundary(boundary)
+        if boundary <= self.ledger.base_index:
+            return
+        self._archive_governance_prefix(boundary)
+        dropped = self.ledger.truncate_below(boundary)
+        if dropped:
+            # Truncation is cheap but not free: pinning the boundary
+            # frontier folds O(log n) cached peaks, and dropping the
+            # prefix is one storage operation (a chunk-file unlink in a
+            # real ledger).  O(log n) per C batches — far below any knee,
+            # so pinned bench rates are unaffected.
+            self.submit("hash", boundary.bit_length() * self.costs.hash_fixed)
+            self.submit("append", self.costs.ledger_append)
+            # Records for pruned batches can never be referenced again;
+            # dropping them keeps the oldest-stable scan O(window).
+            oldest = self.ledger.oldest_retained_seqno()
+            if oldest is not None:
+                self.cp_directory.prune_records_below(oldest)
+            self.metrics.bump("ledger_truncations")
+            self.metrics.bump("ledger_entries_gced", dropped)
+
+    def _align_gc_boundary(self, boundary: int) -> int:
+        """The largest batch-end at or below ``boundary`` (checkpoint
+        ledger sizes are batch ends already; arbitrary pins round down)."""
+        best = self.ledger.base_index
+        for info in self.ledger.batches():
+            if info.end <= boundary:
+                best = max(best, info.end)
+            else:
+                break
+        return best
+
+    def _archive_governance_prefix(self, boundary: int) -> None:
+        """Feed the about-to-be-pruned region into the governance archive
+        (the sub-ledger must survive the entries it was derived from)."""
+        # Imported lazily: repro.governance.subledger imports the lpbft
+        # message types, so a module-level import would be circular.
+        from ..governance.subledger import GovernanceExtractor
+
+        if self._gov_archive is None:
+            if self.ledger.base_index > 0:
+                return  # suffix-installed: the genesis prefix never existed here
+            self._gov_archive = GovernanceExtractor(self.params.pipeline)
+        start = self._gov_archive.next_index
+        if start < boundary:
+            region = self.ledger.entries(start, boundary)
+            # Archiving replays the region's governance transactions on
+            # the extractor's scratch store — real (rare) execute work.
+            gov_txs = sum(
+                1
+                for entry in region
+                if isinstance(entry, TxEntry) and entry.request_wire[1].startswith("gov.")
+            )
+            if gov_txs:
+                self.submit("execute", gov_txs * self.costs.execute_tx(3, 8))
+            self._gov_archive.feed(region, start)
+
+    def governance_subledger(self):
+        """The replica's committed governance sub-ledger, complete from
+        genesis even after ledger prefix GC (archive + retained suffix).
+        A replica that *joined* from a checkpoint-rooted transfer never
+        held the genesis prefix; it reports the retained governance
+        entries under its own schedule (best effort — such replicas serve
+        state sync, not audits)."""
+        from ..governance.subledger import GovernanceSubLedger, extract_governance_subledger
+
+        base = self.ledger.base_index
+        if base == 0:
+            return extract_governance_subledger(self.ledger.entries(), self.params.pipeline)
+        if self._gov_archive is not None and self._gov_archive.next_index == base:
+            extractor = self._gov_archive.copy()
+            extractor.feed(self.ledger.entries(), base)
+            return extractor.subledger()
+        entries = [
+            (index, entry.to_wire())
+            for index, entry in zip(range(base, len(self.ledger)), self.ledger.entries())
+            if isinstance(entry, TxEntry) and entry.request_wire[1].startswith("gov.")
+        ]
+        return GovernanceSubLedger(
+            entries=entries, schedule=self.schedule.copy(), reconfigs=[]
+        )
 
     # -- reconfiguration (§5.1) ----------------------------------------------------------
 
@@ -1556,7 +1741,14 @@ class LPBFTReplicaCore(Node):
 
     def handle_fetch_ledger(self, src: str, msg: tuple) -> None:
         """Serve the full ledger plus the newest checkpoint (§3.4 fetch /
-        §5.1 join)."""
+        §5.1 join).  Once the prefix has been garbage-collected there is
+        no full ledger to serve; the requester is told so explicitly
+        (``ledger-gone``) and falls back to the checkpoint-rooted sync
+        protocol.  (Ledger GC only runs when ``state_sync`` is on, so
+        that fallback always exists.)"""
+        if self.ledger.base_index > 0:
+            self.send(src, ("ledger-gone",))
+            return
         fragment = self.ledger.fragment(0)
         cp_seqno = max(self.checkpoints) if self.checkpoints else 0
         cp = self.checkpoints.get(cp_seqno)
@@ -1625,6 +1817,24 @@ class LPBFTReplicaCore(Node):
                     store.setdefault(replica_id, nonce)
         self._retry_pending_pps()
 
+    def _send_fetch_ledger(self, addr: str) -> None:
+        """Legacy whole-ledger fetch, tracked so a `ledger-gone` answer is
+        only honored from a peer we actually asked."""
+        self._fetch_ledger_pending.add(addr)
+        self.send(addr, ("fetch-ledger",))
+
+    def handle_ledger_gone(self, src: str, msg: tuple) -> None:
+        """The peer we asked for a whole ledger garbage-collected its
+        prefix: recover through the checkpoint-rooted state-sync protocol
+        instead (present whenever ledger GC is enabled).  Unsolicited
+        `ledger-gone` messages are dropped — a Byzantine replica must not
+        be able to suspend honest replicas into state transfers at will."""
+        if src not in self._fetch_ledger_pending:
+            return
+        self._fetch_ledger_pending.discard(src)
+        if self.params.state_sync and hasattr(self, "start_state_sync"):
+            self.start_state_sync("ledger_gone")
+
     def handle_get_gov_chain(self, src: str, msg: tuple) -> None:
         self.send(src, ("gov-chain-resp", self.gov_chain.to_wire()))
 
@@ -1666,6 +1876,7 @@ class LPBFTReplicaCore(Node):
         "evidence-bundle": "handle_evidence_bundle",
         "fetch-ledger": "handle_fetch_ledger",
         "ledger-bundle": "handle_ledger_bundle",
+        "ledger-gone": "handle_ledger_gone",
         "get-gov-chain": "handle_get_gov_chain",
         "view-change": "handle_view_change",
         "new-view": "handle_new_view",

@@ -200,7 +200,7 @@ class ViewChangeMixin:
             self._pending_new_view = view
             addr = self.replica_directory.get(source)
             if addr:
-                self.send(addr, ("fetch-ledger",))
+                self._send_fetch_ledger(addr)
             return
         self._emit_new_view(view, chosen, root_m, slp)
 
@@ -374,7 +374,7 @@ class ViewChangeMixin:
         ):
             # Behind the committed frontier implied by the new view: sync.
             self._stashed_new_view = (src, msg)
-            self.send(src, ("fetch-ledger",))
+            self._send_fetch_ledger(src)
             return
         target = max(0, slp - self.params.pipeline)
         target = min(target, max(self.committed_upto, self.prepared_upto))
@@ -399,17 +399,20 @@ class ViewChangeMixin:
         :class:`~repro.statesync.StateSyncMixin` with the chunked,
         verified transfer when ``params.state_sync`` is on."""
         if source_address:
-            self.send(source_address, ("fetch-ledger",))
+            self._send_fetch_ledger(source_address)
 
     def request_join(self, source_address: str) -> None:
         """Ask a running replica for its ledger and newest checkpoint."""
         if self.params.state_sync and hasattr(self, "start_state_sync"):
             self.start_state_sync("join")
         else:
-            self.send(source_address, ("fetch-ledger",))
+            self._send_fetch_ledger(source_address)
         self.send(source_address, ("get-gov-chain",))
 
     def handle_ledger_bundle(self, src: str, msg: tuple) -> None:
+        # The fetch is answered; src no longer holds a license to report
+        # `ledger-gone` for it.
+        self._fetch_ledger_pending.discard(src)
         _, start, entry_wires, cp_wire, view, next_seqno = msg
         if start != 0 or len(entry_wires) <= len(self.ledger):
             self._resume_after_sync(src)
@@ -476,8 +479,19 @@ class ViewChangeMixin:
         from ..governance.subledger import extract_governance_subledger
 
         entries = ledger.entries()
-        subledger = extract_governance_subledger(entries, self.params.pipeline)
-        schedule = subledger.schedule.copy()
+        if ledger.base_index == 0:
+            subledger = extract_governance_subledger(entries, self.params.pipeline)
+            schedule = subledger.schedule.copy()
+        else:
+            # Suffix-rooted adoption (the server garbage-collected its
+            # prefix): the governance history below the checkpoint is not
+            # in the fetched entries, so the schedule is our own — anchored
+            # at the genesis configuration every replica is constructed
+            # with.  The sync client has already verified each fetched
+            # pre-prepare's signature against this schedule.
+            if checkpoint is None or checkpoint.seqno <= 0:
+                raise ProtocolError("suffix-rooted ledger requires a checkpoint")
+            schedule = self.schedule.copy()
         cp_seqno = 0 if checkpoint is None else checkpoint.seqno
         kv = KVStore()
         if checkpoint is not None:
@@ -570,10 +584,22 @@ class ViewChangeMixin:
         self.schedule = schedule
         self.ledger = ledger
         self.kv = kv
+        # Keep our genesis checkpoint: it is identical on every replica
+        # (derived from the genesis configuration + initial state) and
+        # stays the replay anchor for peers without a stable checkpoint.
+        if 0 in self.checkpoints:
+            checkpoints.setdefault(0, self.checkpoints[0])
         self.checkpoints = checkpoints
+        # Adopted checkpoints count as fresh for the GC age floor.
+        self._cp_taken_at = {s: (0.0 if s == 0 else self.now) for s in checkpoints}
         self.last_taken_cp = last_taken
         self.last_recorded_cp = last_recorded
         self.cp_directory = CheckpointDirectoryFromLedger(entries, self)
+        # The governance archive described the *old* ledger's pruned
+        # prefix; a full-prefix adoption can re-derive everything from the
+        # entries, a suffix-rooted one falls back to the degraded
+        # (schedule-only) sub-ledger until it archives its own truncations.
+        self._gov_archive = None
         self.batches = batches
         self.tx_locations = tx_locations
         self.pps.update(new_pps)
@@ -601,21 +627,33 @@ class ViewChangeMixin:
 
 def CheckpointDirectoryFromLedger(entries, replica) -> "object":
     """Rebuild a :class:`~repro.lpbft.checkpointing.CheckpointDirectory`
-    from checkpoint transactions found in a fetched ledger."""
-    from ..kvstore.checkpoints import checkpoint_digest
+    from checkpoint transactions found in a fetched ledger.
+
+    ``entries`` may be a retained *suffix* (the server garbage-collected
+    its prefix): the genesis digest then comes from the replica's own
+    directory — every replica derives it from the genesis configuration
+    it was constructed with — and the directory simply lacks records for
+    pruned batches, which can never be re-proposed."""
     from .checkpointing import CheckpointDirectory
 
-    genesis_digest = replica.checkpoints.get(0)
-    # The genesis checkpoint digest is recomputable from the genesis config.
-    first = entries[0]
-    assert isinstance(first, GenesisEntry)
-    from ..governance.configuration import Configuration as _Cfg
-    from ..governance.transactions import install_configuration as _install
+    if entries and isinstance(entries[0], GenesisEntry):
+        # The genesis checkpoint digest is recomputable from the genesis
+        # config (plus any pre-populated initial state, which the replica's
+        # own genesis checkpoint carries).
+        genesis_cp = replica.checkpoints.get(0)
+        if genesis_cp is not None:
+            genesis_digest = genesis_cp.digest()
+        else:
+            from ..governance.configuration import Configuration as _Cfg
+            from ..governance.transactions import install_configuration as _install
 
-    scratch = KVStore()
-    config0 = _Cfg.from_wire(first.config_wire)
-    scratch.execute(lambda tx: _install(tx, config0))
-    directory = CheckpointDirectory(scratch.state_digest())
+            scratch = KVStore()
+            config0 = _Cfg.from_wire(entries[0].config_wire)
+            scratch.execute(lambda tx: _install(tx, config0))
+            genesis_digest = scratch.state_digest()
+    else:
+        genesis_digest = replica.cp_directory.genesis_digest()
+    directory = CheckpointDirectory(genesis_digest)
 
     current_seqno = 0
     for entry in entries:

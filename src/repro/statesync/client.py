@@ -41,10 +41,22 @@ from __future__ import annotations
 
 from ..errors import KVError, LedgerError, MerkleError, ProtocolError
 from ..kvstore.checkpoints import Checkpoint, ChunkReassembler
-from ..ledger import CheckpointTxEntry, Ledger, entry_from_wire
+from ..ledger import CheckpointTxEntry, Ledger, LedgerFragment, entry_from_wire
 from ..merkle.proofs import FrontierAccumulator, frontier_from_wire, frontier_root
 from .messages import SyncManifest, SyncOffer
 
+# The session state machine's phases.  Transitions (every phase also
+# self-loops on timeout up to ``sync_max_retries`` and fails over on
+# exhaustion or on any verification failure — see the table in the
+# :class:`StateSyncClient` docstring):
+#
+#   IDLE ──start()──▶ PROBE ──first usable offer──▶ MANIFEST | CHUNKS | LEDGER
+#   MANIFEST ──consistent manifest──▶ CHUNKS
+#   CHUNKS ──all chunks verified──▶ LEDGER
+#   LEDGER ──suffix verified + installed──▶ IDLE   (resume)
+#   LEDGER ──sync-ledger-refused──▶ LEDGER         (checkpoint-rooted retry)
+#   any ──failover──▶ best cached offer (re-enter at MANIFEST/CHUNKS/LEDGER)
+#                     or PROBE when no offers remain
 IDLE = "idle"
 PROBE = "probe"
 MANIFEST = "manifest"
@@ -53,7 +65,43 @@ LEDGER = "ledger"
 
 
 class StateSyncClient:
-    """Pull-based catch-up for one lagging replica."""
+    """Pull-based catch-up for one lagging replica.
+
+    **States and what they wait for**
+
+    ========  ==========================================================
+    phase     waiting for
+    ========  ==========================================================
+    IDLE      nothing; no session is running
+    PROBE     ``sync-offer`` from any non-excluded peer (all were probed)
+    MANIFEST  ``sync-manifest`` for the adopted offer's checkpoint
+    CHUNKS    ``sync-chunk`` for each outstanding index (windowed)
+    LEDGER    ``sync-ledger`` (or ``sync-ledger-refused``) for the suffix
+    ========  ==========================================================
+
+    **Transitions.** ``start()`` probes every peer and enters PROBE.  The
+    first structurally-valid offer is adopted: straight to CHUNKS when it
+    matches a cached partial transfer (resumption), to LEDGER when it
+    carries no checkpoint (``cp_seqno == 0``: genesis replay) or the
+    chunks already completed, to MANIFEST otherwise.  A verified manifest
+    opens CHUNKS; the last verified chunk opens LEDGER; a verified and
+    installed suffix returns to IDLE and resumes the replica.
+
+    **Failover.** Any timeout past ``sync_max_retries``, and *any*
+    verification failure (tampered chunk, inconsistent manifest, suffix
+    failing root/signature checks), excludes the current server and
+    re-enters at the best cached offer — or PROBE when none remain.
+    Chunk transfers resume across failovers when the replacement serves
+    the same checkpoint.
+
+    **Ledger GC interplay (PR 5).** A server that garbage-collected its
+    ledger prefix refuses splice requests below its retained base with
+    ``sync-ledger-refused``.  The client then retries *checkpoint-rooted*:
+    it re-requests the suffix from exactly the served checkpoint's
+    boundary and materializes a suffix-only ledger seeded from the
+    manifest's Merkle frontier — its own (now unsplicable) prefix is
+    superseded by the digest-verified checkpoint.
+    """
 
     def __init__(self, replica) -> None:
         self.replica = replica
@@ -69,6 +117,9 @@ class StateSyncClient:
         self._timer: int | None = None
         self._attempts = 0
         self._base_len = 0
+        # True once the server refused our splice point and we fell back
+        # to requesting the suffix from the checkpoint boundary.
+        self._cp_rooted = False
         self._started_at = 0.0
         self.last_result: dict | None = None
 
@@ -110,6 +161,7 @@ class StateSyncClient:
         self.offers = {}
         self._inflight = set()
         self._to_request = []
+        self._cp_rooted = False
 
     # -- phases -------------------------------------------------------------
 
@@ -175,9 +227,23 @@ class StateSyncClient:
 
     def _enter_ledger(self) -> None:
         self.phase = LEDGER
+        self._cp_rooted = False
         self._base_len = self._splice_point()
         root = self.replica.ledger.root_at(self._base_len)
-        self.replica.send(self.server, ("sync-get-ledger", self._base_len, root))
+        self.replica.send(self.server, ("sync-get-ledger", self._base_len, root, False))
+        self._arm_timer()
+
+    def _enter_ledger_cp_rooted(self) -> None:
+        """Re-request the suffix from the checkpoint boundary after the
+        server refused our splice point (its prefix below it is gone)."""
+        offer = self.offer
+        self.phase = LEDGER
+        self._cp_rooted = True
+        self._base_len = offer.cp_ledger_size
+        self.replica.send(
+            self.server,
+            ("sync-get-ledger", offer.cp_ledger_size, offer.cp_ledger_root, True),
+        )
         self._arm_timer()
 
     def _splice_point(self) -> int:
@@ -286,6 +352,31 @@ class StateSyncClient:
             self._fill_window()
             self._arm_timer()
 
+    def on_ledger_refused(self, src: str, msg: tuple) -> None:
+        """The server garbage-collected the prefix our splice point lives
+        in: fall back to a checkpoint-rooted transfer when the session
+        holds a verified checkpoint, fail over otherwise."""
+        if self.phase != LEDGER or src != self.server or self._cp_rooted:
+            if self._cp_rooted and self.phase == LEDGER and src == self.server:
+                # Even the checkpoint boundary is refused: the server's
+                # retention moved past its own offer — it is useless now.
+                self._failover("suffix_refused")
+            return
+        if len(msg) != 2 or not isinstance(msg[1], int):
+            return
+        offer = self.offer
+        retained = msg[1]
+        if (
+            offer.cp_seqno > 0
+            and self.reassembler is not None
+            and self.reassembler.complete()
+            and offer.cp_ledger_size >= retained
+        ):
+            self.replica.metrics.bump("sync_cp_rooted_transfers")
+            self._enter_ledger_cp_rooted()
+        else:
+            self._failover("suffix_refused")
+
     def on_ledger(self, src: str, msg: tuple) -> None:
         if self.phase != LEDGER or src != self.server:
             return
@@ -342,24 +433,68 @@ class StateSyncClient:
 
     def _verified_ledger(self, start: int, entry_wires: tuple, checkpoint) -> Ledger:
         """Splice our committed prefix with the fetched suffix and verify
-        the whole against every digest we hold (raises on mismatch)."""
+        the whole against every digest we hold (raises on mismatch).
+
+        Three shapes, depending on who garbage-collected what:
+
+        - neither side GC'd: full-from-genesis ledger, genesis compared
+          with our own (the historical path);
+        - *we* hold a GC'd prefix: the splice is rooted at our own base,
+          seeded from our tree's frontier (our retained prefix is already
+          trusted);
+        - checkpoint-rooted retry (the *server* GC'd below our splice
+          point): the ledger is rooted at the served checkpoint boundary,
+          seeded from the manifest's frontier — the prefix exists only as
+          peaks, and the suffix is bound to it through every signed
+          ``root_m`` plus the checkpoint transaction that records ``dC``.
+        """
         replica = self.replica
         offer = self.offer
-        wires = list(entry_wires)
-        if start > 0:
-            wires = list(replica.ledger.fragment(0, start).entry_wires) + wires
-        if not wires:
-            raise ProtocolError("empty sync ledger")
-        ledger = Ledger()
-        for wire in wires:
-            ledger.append(entry_from_wire(wire))
+        if self._cp_rooted:
+            if start != offer.cp_ledger_size or offer.cp_seqno <= 0 or self.manifest is None:
+                raise ProtocolError("checkpoint-rooted suffix with wrong start")
+            fragment = LedgerFragment(start=start, entry_wires=tuple(entry_wires))
+            ledger = Ledger.from_fragment_suffix(
+                fragment, frontier_from_wire(self.manifest.frontier)
+            )
+        else:
+            own_base = replica.ledger.base_index
+            wires = list(entry_wires)
+            if start > 0:
+                wires = list(replica.ledger.fragment(own_base, start).entry_wires) + wires
+            if not wires:
+                raise ProtocolError("empty sync ledger")
+            if start > 0 and own_base > 0:
+                # Splicing our own GC'd prefix: the combined wires begin
+                # at our retained base, rooted at our own tree's frontier.
+                fragment = LedgerFragment(start=own_base, entry_wires=tuple(wires))
+                ledger = Ledger.from_fragment_suffix(
+                    fragment, replica.ledger.tree().frontier_at(own_base)
+                )
+            else:
+                # start == 0: the server shipped a full-from-genesis
+                # ledger (its own prefix is intact), so the entry wires
+                # are genesis-rooted regardless of what *we* collected.
+                ledger = Ledger()
+                for wire in wires:
+                    ledger.append(entry_from_wire(wire))
         if len(ledger) < offer.cp_ledger_size:
             raise ProtocolError("sync ledger shorter than checkpoint bound")
         replica.submit("append", len(entry_wires) * replica.costs.ledger_append)
         replica.submit("hash", len(entry_wires) * 2 * replica.costs.hash_fixed)
-        genesis = replica.ledger.entry(0)
-        if ledger.entry(0).to_wire() != genesis.to_wire():
-            raise ProtocolError("sync ledger has a different genesis")
+        if ledger.base_index == 0:
+            if replica.ledger.base_index == 0:
+                genesis = replica.ledger.entry(0)
+                if ledger.entry(0).to_wire() != genesis.to_wire():
+                    raise ProtocolError("sync ledger has a different genesis")
+            else:
+                # Our own genesis entry was garbage-collected; the service
+                # identity it defined is still ours to check against.
+                entry0 = ledger.entry(0)
+                from ..ledger import GenesisEntry as _Genesis
+
+                if not isinstance(entry0, _Genesis) or entry0.service_name() != replica.service_name:
+                    raise ProtocolError("sync ledger has a different genesis")
         if offer.cp_seqno > 0:
             # The checkpoint's ledger binding.
             if ledger.root_at(offer.cp_ledger_size) != offer.cp_ledger_root:
@@ -380,11 +515,16 @@ class StateSyncClient:
                 raise ProtocolError("checkpoint digest not recorded in fetched ledger")
             # The manifest's frontier must reproduce the tree over the
             # suffix (proves the frontier belongs to this very prefix).
-            acc = FrontierAccumulator(frontier_from_wire(self.manifest.frontier))
-            for index in range(offer.cp_ledger_size, len(ledger)):
-                acc.append(ledger.entry(index).digest())
-            if acc.root() != ledger.root():
-                raise ProtocolError("manifest frontier inconsistent with suffix")
+            # Skipped in checkpoint-rooted mode: there the ledger tree was
+            # *built* from that same frontier, so the comparison is true
+            # by construction — the binding is instead enforced by the
+            # root_at check above plus the per-batch root_m checks below.
+            if not self._cp_rooted:
+                acc = FrontierAccumulator(frontier_from_wire(self.manifest.frontier))
+                for index in range(offer.cp_ledger_size, len(ledger)):
+                    acc.append(ledger.entry(index).digest())
+                if acc.root() != ledger.root():
+                    raise ProtocolError("manifest frontier inconsistent with suffix")
         # Every server-supplied batch — everything past our own trusted
         # prefix, including batches *below* the checkpoint — carries a
         # signed root_m over the ledger before its pre-prepare entry;
@@ -421,12 +561,21 @@ class StateSyncClient:
         from ..governance.subledger import extract_governance_subledger
 
         replica = self.replica
-        try:
-            schedule = extract_governance_subledger(
-                ledger.entries(), replica.params.pipeline
-            ).schedule
-        except Exception as exc:
-            raise ProtocolError(f"governance subledger extraction failed: {exc}") from exc
+        if ledger.base_index > 0:
+            # Suffix-rooted ledger: the governance history below the
+            # checkpoint is not in the entries; the anchor is our own
+            # schedule, which every replica derives from the genesis
+            # configuration it was constructed with.  (A joiner that
+            # missed a reconfiguration must fetch the governance chain
+            # first — its pre-prepare checks would fail here otherwise.)
+            schedule = replica.schedule.copy()
+        else:
+            try:
+                schedule = extract_governance_subledger(
+                    ledger.entries(), replica.params.pipeline
+                ).schedule
+            except Exception as exc:
+                raise ProtocolError(f"governance subledger extraction failed: {exc}") from exc
         items = []
         for seqno, pp in suffix_batches:
             config = schedule.config_at_seqno(seqno)
@@ -515,6 +664,12 @@ class StateSyncClient:
             for index in sorted(self._inflight):
                 replica.send(self.server, ("sync-get-chunk", self.offer.cp_seqno, index))
         elif self.phase == LEDGER:
-            root = replica.ledger.root_at(self._base_len)
-            replica.send(self.server, ("sync-get-ledger", self._base_len, root))
+            if self._cp_rooted:
+                replica.send(
+                    self.server,
+                    ("sync-get-ledger", self.offer.cp_ledger_size, self.offer.cp_ledger_root, True),
+                )
+            else:
+                root = replica.ledger.root_at(self._base_len)
+                replica.send(self.server, ("sync-get-ledger", self._base_len, root, False))
         self._arm_timer()

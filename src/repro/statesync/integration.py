@@ -35,6 +35,7 @@ STATESYNC_DISPATCH = {
     "sync-chunk": "handle_sync_chunk",
     "sync-get-ledger": "handle_sync_get_ledger",
     "sync-ledger": "handle_sync_ledger",
+    "sync-ledger-refused": "handle_sync_ledger_refused",
 }
 
 
@@ -58,7 +59,7 @@ class StateSyncMixin:
         if self.params.state_sync:
             self.start_state_sync(reason)
         elif source_address is not None:
-            self.send(source_address, ("fetch-ledger",))
+            self._send_fetch_ledger(source_address)
 
     def _maybe_detect_lag(self) -> None:
         """Start a transfer when stashed pre-prepares show the service is
@@ -159,3 +160,6 @@ class StateSyncMixin:
 
     def handle_sync_ledger(self, src: str, msg: tuple) -> None:
         self.sync_client.on_ledger(src, msg)
+
+    def handle_sync_ledger_refused(self, src: str, msg: tuple) -> None:
+        self.sync_client.on_ledger_refused(src, msg)

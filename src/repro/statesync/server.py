@@ -27,6 +27,9 @@ class StateSyncServer:
         self._cache_key: tuple[int, Digest] | None = None
         self._chunks: list[bytes] = []
         self._manifest: SyncManifest | None = None
+        # When a transfer last touched the served checkpoint; drives the
+        # release of the "sync-serve" retention pin once clients go quiet.
+        self._cache_last_used = 0.0
 
     # -- what is stable ------------------------------------------------------
 
@@ -73,6 +76,10 @@ class StateSyncServer:
         else:
             # No stable checkpoint yet: the client replays from its own
             # genesis checkpoint, so only the ledger needs to travel.
+            # (Unreachable once the prefix is garbage-collected — GC only
+            # ever runs above a stable checkpoint — but guard anyway.)
+            if replica.ledger.base_index > 0:
+                return
             offer = SyncOffer(
                 cp_seqno=0,
                 cp_digest=b"",
@@ -107,6 +114,7 @@ class StateSyncServer:
             self._chunked(cp)
         if not 0 <= index < len(self._chunks):
             return
+        self._cache_last_used = replica.now
         chunk = self._chunks[index]
         replica.submit("hash", replica.costs.hash_fixed + len(chunk) * replica.costs.hash_per_byte)
         payload = ("sync-chunk", cp_seqno, index, chunk)
@@ -118,23 +126,69 @@ class StateSyncServer:
         replica.send(src, payload)
 
     def on_get_ledger(self, src: str, msg: tuple) -> None:
-        if len(msg) != 3:
+        """Serve a ledger suffix, bounded below by the retained prefix.
+
+        Requests come in two forms (4th wire field ``from_checkpoint``):
+
+        - splice (False): ``base_len``/``base_root`` describe the client's
+          committed prefix; when it is bit-identical to ours and reaches
+          into our retained region, only ``[base_len, end)`` travels.
+        - checkpoint-rooted (True): the client holds the served
+          checkpoint's chunks and asks for exactly ``[cp.ledger_size,
+          end)`` — the suffix it can verify against the manifest frontier.
+
+        A splice request reaching *below* the retained prefix (or one
+        whose prefix diverges while ours is partially garbage-collected)
+        is **refused** with ``sync-ledger-refused``: the entries that
+        would prove the splice no longer exist, so the client must fall
+        back to a full checkpoint transfer.
+        """
+        if len(msg) != 4:
             return
-        base_len, base_root = msg[1], msg[2]
+        base_len, base_root, from_checkpoint = msg[1], msg[2], bool(msg[3])
         replica = self.replica
         end = self._committed_ledger_end()
         if end < 1:
             return
-        start = 0
-        if (
+        retained = replica.ledger.base_index
+        if from_checkpoint:
+            # Validate against the checkpoint this transfer was *served*
+            # from (the cache — still pinned and retained) first: the
+            # newest stable checkpoint may have advanced while the client
+            # pulled chunks, and forcing a restart against the new one
+            # could livelock a slow transfer.  Fall back to the current
+            # stable checkpoint for clients rooted directly at it.
+            served = self._manifest
+            matches = served is not None and (
+                served.cp_ledger_size == base_len and served.cp_ledger_root == base_root
+            )
+            if not matches:
+                cp = self.stable_checkpoint()
+                matches = cp is not None and (
+                    cp.ledger_size == base_len and cp.ledger_root == base_root
+                )
+            if not matches or base_len < retained or base_len > end:
+                return  # stale request; the client times out and re-probes
+            self._cache_last_used = replica.now
+            start = base_len
+        elif (
             isinstance(base_len, int)
-            and 1 <= base_len <= end
+            and max(1, retained) <= base_len <= end
             and base_len <= len(replica.ledger)
             and replica.ledger.root_at(base_len) == base_root
         ):
             # The client's committed prefix is bit-identical to ours:
             # only the suffix needs to travel.
             start = base_len
+        elif retained == 0:
+            start = 0
+        else:
+            # The splice point is unprovable: either it lies below the
+            # prefix we garbage-collected, or the prefixes diverge and a
+            # full-from-genesis ledger no longer exists here.
+            replica.metrics.bump("sync_suffix_refusals")
+            replica.send(src, ("sync-ledger-refused", retained))
+            return
         fragment = replica.ledger.fragment(start, end)
         replica.submit("append", len(fragment) * replica.costs.ledger_append)
         replica.metrics.bump("sync_ledger_serves")
@@ -145,10 +199,34 @@ class StateSyncServer:
 
     # -- chunk cache ---------------------------------------------------------
 
+    def release_stale_pin(self) -> None:
+        """Drop the serve cache and its retention pin once no transfer
+        has touched the served checkpoint for longer than a full client
+        retry cycle — a pin held forever after one completed (or
+        abandoned) transfer would silently cap ledger GC at that
+        checkpoint for the rest of the run.  An in-flight client
+        re-requests at least every ``sync_retry_timeout``, so a live
+        transfer keeps the pin refreshed."""
+        replica = self.replica
+        if self._cache_key is None:
+            return
+        grace = replica.params.sync_retry_timeout * (replica.params.sync_max_retries + 2)
+        if replica.now - self._cache_last_used > grace:
+            replica.retention.release("sync-serve")
+            self._cache_key = None
+            self._chunks = []
+            self._manifest = None
+
     def _chunked(self, cp) -> tuple[list[bytes], SyncManifest]:
         key = (cp.seqno, cp.digest())
+        self._cache_last_used = self.replica.now
         if self._cache_key != key:
             replica = self.replica
+            # Retention pin: while this checkpoint is being served, the
+            # ledger suffix from its boundary must survive local GC so an
+            # in-flight transfer can complete checkpoint-rooted.  The pin
+            # moves forward when a newer checkpoint takes over the cache.
+            replica.retention.pin("sync-serve", cp.ledger_size)
             replica.submit("hash", len(cp.state) * replica.costs.checkpoint_per_entry)
             self._chunks = chunk_state(cp.state, replica.params.sync_chunk_bytes)
             self._manifest = SyncManifest(
