@@ -431,6 +431,16 @@ class Auditor:
         receipt_pp = receipt.reconstructed_pre_prepare()
         if batch.pp.digest() == receipt_pp.digest():
             return  # consistent
+        if batch.view != receipt.view and batch.pp.root_g == receipt_pp.root_g:
+            # A view change re-proposes prepared batches under the new
+            # view: the re-issued pre-prepare carries a new view, a fresh
+            # nonce commitment, and a root_m that now covers the ledger's
+            # view-change entries — but the same G tree.  The receipt
+            # attests (t, i, o) is in batch s, and the ledger's batch s
+            # commits to exactly that set, so there is no contradiction
+            # to assign blame for (the well-formedness pass has already
+            # validated the view change that moved the batch).
+            return
 
         receipt_signers = set(receipt.signers())
         vr, vl = receipt.view, batch.view

@@ -1,0 +1,39 @@
+"""Seeded scenario fuzzing for the full deployment.
+
+The chaos fuzzer draws a random *fault schedule* — partitions, crashes
+and recoveries, mid-run replica additions, duplication and reordering
+windows, Byzantine receipt suppression, governance reconfigurations that
+race view changes, and GC/state-sync races — from a single integer seed,
+runs it against a :class:`~repro.lpbft.Deployment` under open-loop load,
+and machine-checks invariant oracles after every fault step and again at
+quiescence.
+
+Everything is derived from ``(seed, params)``: the same pair replays the
+same schedule against the same deployment and produces a byte-identical
+event trace, so a CI failure is reproduced exactly with::
+
+    PYTHONPATH=src python -m repro.chaos --seed <S>
+
+plus whatever non-default parameters the failing run printed.  The
+shrinker (:func:`shrink_schedule`) then reduces a failing schedule to a
+minimal reproduction suitable for checking in as a regression test.
+
+See ``docs/CHAOS.md`` for the operational guide.
+"""
+
+from .harness import ChaosResult, run_schedule
+from .oracles import quiescence_oracles, step_oracles
+from .schedule import ChaosParams, FaultEvent, Schedule, generate_schedule
+from .shrink import shrink_schedule
+
+__all__ = [
+    "ChaosParams",
+    "ChaosResult",
+    "FaultEvent",
+    "Schedule",
+    "generate_schedule",
+    "quiescence_oracles",
+    "run_schedule",
+    "shrink_schedule",
+    "step_oracles",
+]

@@ -1,0 +1,98 @@
+"""Chaos CLI — replay, soak, and shrink fault schedules.
+
+Replay one seed exactly (what a failing CI job prints)::
+
+    PYTHONPATH=src python -m repro.chaos --seed 21
+
+Run the pinned CI soak matrix (exit 1 on any violation)::
+
+    PYTHONPATH=src python -m repro.chaos --soak
+
+Shrink a failing seed to a minimal repro::
+
+    PYTHONPATH=src python -m repro.chaos --seed 21 --shrink
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import run_schedule
+from .schedule import ChaosParams, generate_schedule
+from .shrink import shrink_schedule
+
+# The CI soak matrix.  Pinned: a new seed is appended, never substituted,
+# so a green history stays comparable across commits.
+SOAK_SEEDS = (1, 2, 3, 5, 8, 13, 21, 34)
+
+
+def build_params(args) -> ChaosParams:
+    return ChaosParams(
+        n_replicas=args.replicas,
+        n_events=args.events,
+        fault_end=args.fault_end,
+        quiescence=args.quiescence,
+        load_rate=args.rate,
+    )
+
+
+def run_one(seed: int, params: ChaosParams, args) -> bool:
+    schedule = generate_schedule(seed, params)
+    result = run_schedule(schedule)
+    status = "ok" if result.ok else "FAIL"
+    print(f"seed {seed}: {status}  events={len(schedule.events)} "
+          f"trace_digest={result.trace_digest[:16]}  {result.summary}")
+    if args.trace or not result.ok:
+        print(schedule.describe())
+    if args.trace:
+        print("\n".join(result.trace))
+    if not result.ok:
+        for violation in result.violations:
+            print(f"  ORACLE VIOLATION: {violation}")
+        print(f"  replay: {result.replay_command}")
+        if args.shrink:
+            minimal, runs = shrink_schedule(schedule)
+            print(f"  shrunk to {len(minimal.events)} events in {runs} runs:")
+            for line in minimal.describe().splitlines():
+                print(f"    {line}")
+    return result.ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.chaos", description=__doc__)
+    parser.add_argument("--seed", type=int, help="replay this schedule seed")
+    parser.add_argument("--soak", action="store_true", help="run the pinned CI seed matrix")
+    parser.add_argument("--seeds", type=str, default=None,
+                        help="comma-separated seed list overriding the pinned matrix")
+    parser.add_argument("--replicas", type=int, default=ChaosParams.n_replicas)
+    parser.add_argument("--events", type=int, default=ChaosParams.n_events)
+    parser.add_argument("--fault-end", type=float, default=ChaosParams.fault_end)
+    parser.add_argument("--quiescence", type=float, default=ChaosParams.quiescence)
+    parser.add_argument("--rate", type=float, default=ChaosParams.load_rate)
+    parser.add_argument("--shrink", action="store_true",
+                        help="on failure, shrink the schedule to a minimal repro")
+    parser.add_argument("--trace", action="store_true", help="print the full event trace")
+    args = parser.parse_args(argv)
+
+    if args.seed is None and not args.soak and not args.seeds:
+        parser.error("one of --seed or --soak (or --seeds) is required")
+    params = build_params(args)
+    if args.seed is not None:
+        seeds = [args.seed]
+    elif args.seeds:
+        seeds = [int(s) for s in args.seeds.split(",")]
+    else:
+        seeds = list(SOAK_SEEDS)
+
+    failed = [seed for seed in seeds if not run_one(seed, params, args)]
+    if failed:
+        print(f"\n{len(failed)}/{len(seeds)} seeds FAILED: {failed}")
+        print("replay a failure exactly with the command printed above")
+        return 1
+    print(f"\nall {len(seeds)} seeds passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Schedule shrinking: reduce a failing schedule to a minimal repro.
+
+Greedy delta debugging over the event list: repeatedly try dropping
+chunks of events (halving the chunk size down to single events) and keep
+any reduction that still fails.  Because :func:`~repro.chaos.harness.
+run_schedule` is deterministic, "still fails" is a pure predicate and
+the result is reproducible: the shrunk schedule plus the seed *is* the
+regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from .harness import run_schedule
+from .schedule import Schedule
+
+
+def default_failing(schedule: Schedule) -> bool:
+    return bool(run_schedule(schedule).violations)
+
+
+def shrink_schedule(
+    schedule: Schedule,
+    failing: Callable[[Schedule], bool] | None = None,
+    max_runs: int = 200,
+) -> tuple[Schedule, int]:
+    """Return ``(minimal_schedule, runs_used)``.
+
+    ``failing`` must hold for ``schedule`` (raises otherwise) and is
+    re-evaluated on every candidate; the default actually re-runs the
+    deployment, so budget a few seconds per event for real schedules.
+    A custom predicate makes the shrinker unit-testable in milliseconds.
+    """
+    failing = failing or default_failing
+    runs = 0
+
+    def still_fails(candidate: Schedule) -> bool:
+        nonlocal runs
+        runs += 1
+        return failing(candidate)
+
+    if not still_fails(schedule):
+        raise ValueError("shrink_schedule needs a failing schedule to start from")
+
+    events = list(schedule.events)
+    chunk = max(1, len(events) // 2)
+    while runs < max_runs:
+        i = 0
+        reduced = False
+        while i < len(events) and runs < max_runs:
+            trial = events[:i] + events[i + chunk :]
+            if len(trial) < len(events) and still_fails(
+                replace(schedule, events=tuple(trial))
+            ):
+                events = trial  # keep the reduction; same i now indexes new events
+                reduced = True
+            else:
+                i += chunk
+        if chunk > 1:
+            chunk = max(1, chunk // 2)
+        elif not reduced:
+            break  # single-event fixpoint: nothing more can be dropped
+    return replace(schedule, events=tuple(events)), runs

@@ -90,6 +90,14 @@ class Ledger:
         self._base = 0
         self._logical_base = 0
         self._gov_floor = 0
+        # Governance transaction entries survive prefix GC: clients gate
+        # receipt completion on governance *coverage* (§5.2) and fetch
+        # these member-signed entries to verify governance activity the
+        # chain has no link for (failed proposals, in-flight
+        # referendums).  Governance is rare, so retaining every
+        # ``(logical_index, entry_wire)`` pair is a few tuples per
+        # reconfiguration attempt.
+        self._gov_entries: list[tuple[int, tuple]] = []
         # Logical indices: every entry except view-change/new-view records
         # consumes one.  Transactions keep their logical index across view
         # changes even though the vc/nv entries shift physical positions,
@@ -179,6 +187,7 @@ class Ledger:
                     info.tx_count += 1
             if isinstance(entry, TxEntry) and entry.request_wire[1].startswith("gov."):
                 self._last_gov_index = self.logical_size() - 1
+                self._gov_entries.append((self._last_gov_index, entry.to_wire()))
         elif isinstance(entry, GenesisEntry):
             self._last_gov_index = self.logical_size() - 1
         return index
@@ -200,6 +209,20 @@ class Ledger:
     def logical_size(self) -> int:
         """Number of logical indices consumed (excludes vc/nv entries)."""
         return self._logical_base + len(self._logical_to_position)
+
+    @property
+    def logical_base(self) -> int:
+        """First retained *logical* index (0 when no prefix has been
+        garbage-collected)."""
+        return self._logical_base
+
+    def gov_entries_after(self, anchor: int) -> tuple:
+        """Governance transaction entries with logical index above
+        ``anchor``, as ``(logical_index, entry_wire)`` pairs.  Retained
+        across prefix GC (clients need them to extend governance
+        coverage past the chain's last link); a replica built from a
+        suffix fragment only knows the entries in its suffix."""
+        return tuple((i, w) for i, w in self._gov_entries if i > anchor)
 
     def entry_at_index(self, logical_index: int) -> LedgerEntry:
         """The entry with the given *logical* index (the index space
@@ -335,6 +358,9 @@ class Ledger:
             if _is_gov_entry(entry):
                 self._last_gov_index = self._logical_base + offset
                 break
+        self._gov_entries = [
+            (i, w) for i, w in self._gov_entries if i < self.logical_size()
+        ]
         return removed
 
     # -- prefix garbage collection (PR 5) ---------------------------------------

@@ -72,6 +72,7 @@ class LPBFTClient(Node):
             verify=verify_receipts,
             backend=self.backend,
             use_cache=params.verify_cache,
+            completion_gate=self._governance_covers,
         )
         self.gov_chain = GovernanceChain.genesis(genesis_config)
         self.on_receipt = on_receipt
@@ -82,6 +83,7 @@ class LPBFTClient(Node):
         self._nonce = 0
         self._known_gov_index = 0
         self._fetching_gov = False
+        self._gov_fetch_at = 0.0
         self._retry_cursor = 0
         # Backpressure state (per in-flight request).
         self.retry_budget = retry_budget
@@ -165,7 +167,7 @@ class LPBFTClient(Node):
         elif kind == "replyx-gone":
             self._handle_replyx_gone(src, msg[1], msg[2], msg[3])
         elif kind == "gov-chain-resp":
-            self._handle_gov_chain(msg[1])
+            self._handle_gov_chain(msg[1], msg[2] if len(msg) > 2 else ())
 
     def _complete(self, tx_digest: Digest, receipt: Receipt) -> None:
         if tx_digest in self.receipts:
@@ -188,14 +190,42 @@ class LPBFTClient(Node):
 
     # -- governance chain maintenance (§5.2) -------------------------------------------
 
+    def _governance_covers(self, receipt: Receipt) -> bool:
+        """Completion gate: accept a receipt only once every governance
+        transaction it references (``gov_index``) has been verified.
+
+        Without the gate, a quorum of replies collected under a
+        superseded configuration can assemble — and *verify* — for a
+        sequence number the successor configuration owns: the signatures
+        are genuine, only the signer set is stale.  The ledger index of
+        the newest governance transaction the batch saw (``gov_index``,
+        carried in every replyx) is the tell: if it points past what the
+        client has verified, the receipt stays pending (still
+        retransmitting) and a chain fetch races to close the gap."""
+        if receipt.gov_index <= self._known_gov_index:
+            return True
+        self._note_gov_index(receipt.gov_index)
+        return False
+
     def _note_gov_index(self, gov_index: int) -> None:
         """A receipt referencing a newer governance transaction than we
         know about triggers a chain fetch."""
         if gov_index > self._known_gov_index and not self._fetching_gov:
             self._fetching_gov = True
-            self.send(self.replica_addresses[0], ("get-gov-chain",))
+            self._send_gov_fetch()
 
-    def _handle_gov_chain(self, wire: tuple) -> None:
+    def _send_gov_fetch(self) -> None:
+        """Ask a replica for its governance chain, rotating through the
+        directory: any single fixed target could be crashed or partitioned
+        exactly when the chain is needed, and an unanswered fetch would
+        otherwise wedge ``_fetching_gov`` forever — leaving the collector
+        assembling receipts against a stale configuration whose quorum no
+        longer matches (the retry timer re-fires this until answered)."""
+        self._gov_fetch_at = self.now
+        self._retry_cursor = (self._retry_cursor + 1) % len(self.replica_addresses)
+        self.send(self.replica_addresses[self._retry_cursor], ("get-gov-chain",))
+
+    def _handle_gov_chain(self, wire: tuple, suffix: tuple = ()) -> None:
         self._fetching_gov = False
         try:
             chain = GovernanceChain.from_wire(wire)
@@ -205,13 +235,83 @@ class LPBFTClient(Node):
             return
         if len(chain) > len(self.gov_chain):
             self.gov_chain = chain
-            self.collector.update_config(schedule.current())
+            self.collector.update_schedule(schedule)
             self.metrics.bump("gov_chain_updates")
-            if chain.links:
-                link = chain.links[-1]
-                self._known_gov_index = max(
-                    self._known_gov_index, link.propose_receipt.index or 0
-                )
+        if len(chain) >= len(self.gov_chain):
+            # Every governance transaction the chain carries a receipt
+            # for is covered; the member-signed suffix past the last
+            # link (failed proposals, in-flight referendums) extends
+            # coverage further.
+            for link in chain.links:
+                for receipt in (link.propose_receipt, *link.vote_receipts):
+                    if receipt.index is not None and receipt.index > self._known_gov_index:
+                        self._known_gov_index = receipt.index
+            self._extend_coverage(schedule, suffix)
+        # Coverage or configuration may have moved: deferred receipts can
+        # now complete without waiting for another reply.
+        for tx_digest, receipt in self.collector.recheck():
+            self._complete(tx_digest, receipt)
+
+    def _extend_coverage(self, schedule, suffix: tuple) -> None:
+        """Advance the covered governance index through member-signed
+        transactions past the chain's last link (§5.2).
+
+        Failed proposals and non-final votes never activate a
+        configuration, so receipts referencing them are safe to accept
+        once their member signatures check out.  Replaying them on a
+        scratch store detects a referendum that *passed*: coverage stops
+        just short of it, keeping receipts at or past the pending
+        activation deferred until the chain grows the matching link.
+        Entry positions are claimed by the serving replica (signatures
+        bind content, not ledger position), so a Byzantine responder can
+        delay coverage but cannot forge membership or passage; the retry
+        path rotates to another replica."""
+        if not suffix:
+            return
+        from ..governance.transactions import (
+            accepted_configuration,
+            install_configuration,
+            register_governance_procedures,
+        )
+        from ..kvstore import KVStore, ProcedureRegistry
+        from ..ledger.entries import TxEntry, entry_from_wire
+
+        config = schedule.current()
+        member_keys = {m.public_key for m in config.members}
+        registry = ProcedureRegistry()
+        register_governance_procedures(registry)
+        scratch = KVStore()
+        scratch.execute(lambda tx: install_configuration(tx, config))
+        covered = self._known_gov_index
+        for index, entry_wire in sorted(suffix):
+            if index <= covered:
+                continue
+            try:
+                entry = entry_from_wire(entry_wire)
+            except Exception:
+                break
+            if not isinstance(entry, TxEntry):
+                continue
+            request = entry.request()
+            if not request.procedure.startswith("gov."):
+                break
+            if request.client not in member_keys:
+                break
+            if self.params.sign_client_requests and not self.backend.verify(
+                request.client, request.signed_payload(), request.signature
+            ):
+                break
+            scratch.execute(
+                lambda tx, r=request: registry.invoke(r.procedure, tx, r.args)
+            )
+            passed = [None]
+            scratch.execute(
+                lambda tx, out=passed: out.__setitem__(0, accepted_configuration(tx))
+            )
+            if passed[0] is not None:
+                break  # referendum passed: wait for its chain link
+            covered = index
+        self._known_gov_index = covered
 
     def config_for_receipt(self, receipt: Receipt):
         """The configuration a receipt must be verified against, from the
@@ -313,6 +413,8 @@ class LPBFTClient(Node):
         backoff wait for their scheduled instant; requests out of retry
         budget are abandoned."""
         now = self.now
+        if self._fetching_gov and now - self._gov_fetch_at >= self.retry_timeout:
+            self._send_gov_fetch()  # previous target lost/crashed: re-ask
         for tx_digest in self.collector.pending_digests():
             sent = self.collector.sent_at(tx_digest)
             if sent is None:

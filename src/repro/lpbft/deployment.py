@@ -138,7 +138,7 @@ class Deployment:
         self.clients: list[LPBFTClient] = []
         self.service_name = self.replicas[0].service_name
         self._client_counter = 0
-        self._crash_partitions: dict[int, int] = {}
+        self._crashed_ids: set[int] = set()
 
     # -- clients ---------------------------------------------------------------
 
@@ -248,13 +248,7 @@ class Deployment:
         rid = len(self.replicas) if replica_id is None else replica_id
         if any(r.id == rid for r in self.replicas):
             raise ValueError(f"replica {rid} already deployed")
-        member_id = f"member-{rid}"
-        self.member_keys.setdefault(
-            member_id, self.backend.generate(self.seed + b"|member|" + bytes([rid]))
-        )
-        self.replica_keys.setdefault(
-            rid, self.backend.generate(self.seed + b"|replica|" + bytes([rid]))
-        )
+        self.provision_replica(rid)
         directory = {r.id: r.address for r in self.replicas}
         directory[rid] = f"replica-{rid}"
         replica = LPBFTReplica(
@@ -275,15 +269,23 @@ class Deployment:
         self.replicas.append(replica)
         for peer in self.replicas[:-1]:
             peer.replica_directory[rid] = replica.address
-        # Crash partitions snapshot "everyone else" at crash time; a node
-        # registered later must not tunnel through to a crashed replica.
-        for crashed_id in list(self._crash_partitions):
-            self.net.heal(self._crash_partitions.pop(crashed_id))
-            self._crash_partitions[crashed_id] = self._crash_partition(crashed_id)
         replica.on_start()
         if start_sync:
             replica.start_state_sync("join")
         return replica
+
+    def provision_replica(self, replica_id: int) -> None:
+        """Mint deterministic member and replica keys for ``replica_id``
+        without deploying a process, so :meth:`propose_successor` can put
+        it in a successor configuration *before* it exists — the late-join
+        flow: referendum first, :meth:`add_replica` after activation."""
+        member_id = f"member-{replica_id}"
+        self.member_keys.setdefault(
+            member_id, self.backend.generate(self.seed + b"|member|" + bytes([replica_id]))
+        )
+        self.replica_keys.setdefault(
+            replica_id, self.backend.generate(self.seed + b"|replica|" + bytes([replica_id]))
+        )
 
     def _replica_by_id(self, replica_id: int) -> LPBFTReplica:
         for replica in self.replicas:
@@ -291,29 +293,33 @@ class Deployment:
                 return replica
         raise ValueError(f"no replica with id {replica_id}")
 
-    def _crash_partition(self, replica_id: int) -> int:
-        address = self._replica_by_id(replica_id).address
-        others = {a for a in self.net.addresses() if a != address}
-        return self.net.partition({address}, others)
-
     def crash_replica(self, replica_id: int) -> None:
         """Crash a replica: it stops exchanging messages with everyone
-        (durable state — ledger, KV store, checkpoints — survives)."""
-        if replica_id in self._crash_partitions:
+        (durable state — ledger, KV store, checkpoints — survives).
+        Modeled as a first-class crashed mark on the network, not a
+        partition snapshot: nodes registered later cannot tunnel through,
+        and healing partitions never resurrects delivery."""
+        if replica_id in self._crashed_ids:
             return
-        self._crash_partitions[replica_id] = self._crash_partition(replica_id)
+        self._crashed_ids.add(replica_id)
+        self.net.mark_crashed(self._replica_by_id(replica_id).address)
 
     def recover_replica(self, replica_id: int, resync: bool = True) -> None:
         """Restart a crashed replica: volatile state (message stores,
         pending requests, view-change progress) is lost, durable state is
         kept, and a state sync brings it back to the commit frontier."""
-        partition_id = self._crash_partitions.pop(replica_id, None)
-        if partition_id is not None:
-            self.net.heal(partition_id)
+        if replica_id in self._crashed_ids:
+            self._crashed_ids.discard(replica_id)
+            self.net.mark_recovered(self._replica_by_id(replica_id).address)
         replica = self._replica_by_id(replica_id)
         replica.reset_volatile_state()
         if resync:
             replica.start_state_sync("recovery")
+
+    def crashed_replica_ids(self) -> frozenset[int]:
+        """Replica ids currently crashed (chaos oracles exclude these
+        from agreement and liveness checks)."""
+        return frozenset(self._crashed_ids)
 
     # -- fault injection ---------------------------------------------------------------
 

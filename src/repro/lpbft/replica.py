@@ -402,6 +402,7 @@ class LPBFTReplicaCore(Node):
         if tx_digest in self.tx_locations or tx_digest in self.requests:
             if record_source:
                 self.request_sources.setdefault(tx_digest, src)
+                self._maybe_resend_reply(tx_digest, src)
             return
         if request.service != self.service_name:
             return  # addressed to a different service; cannot be replayed here
@@ -1055,8 +1056,20 @@ class LPBFTReplicaCore(Node):
             and self.reconfig is not None
             and s == self.reconfig.activation_seqno(self.params.pipeline)
         )
+        # A rollback that crossed an activation after a ledger adoption
+        # has no ReconfigState to recognize the re-issued activation
+        # batch by — but the adopted schedule knows which seqno starts
+        # each configuration span.
+        adopted_span = None
+        if pp.flags == BATCH_CHECKPOINT and self.reconfig is None:
+            for span in self.schedule.spans():
+                if span.config.number > 0 and span.start_seqno == s:
+                    adopted_span = span
+                    break
         if activation_batch:
             signer_config = self.reconfig.new_config
+        elif adopted_span is not None:
+            signer_config = adopted_span.config
         else:
             signer_config = config
         primary_id = signer_config.primary_for_view(pp.view)
@@ -1076,6 +1089,14 @@ class LPBFTReplicaCore(Node):
             return False  # the final vote has not executed locally yet
         if activation_batch:
             self._activate_configuration()
+        elif adopted_span is not None:
+            # Re-executing a known activation batch: re-assert the KV
+            # install that live activation performed (idempotent — the
+            # same configuration and marker deletions either way), so the
+            # replayed state matches replicas that activated live.
+            self.kv.execute(
+                lambda tx, c=adopted_span.config: install_configuration(tx, c)
+            )
         self._accept_pre_prepare(pp, batch_digests, evidence_pair)
         return True
 
@@ -1274,31 +1295,70 @@ class LPBFTReplicaCore(Node):
 
     # -- replies and receipts (Alg. 1 lines 34–38) --------------------------------------------
 
-    def _send_replies(self, record: BatchRecord) -> None:
-        """One reply per client in the batch; the designated replica also
-        sends the extended ``replyx`` per transaction (§3.3)."""
+    def _build_reply(self, record: BatchRecord) -> Reply | None:
+        """Assemble this replica's reply for a batch, or ``None`` when we
+        cannot: no commit nonce of our own for the slot, or (for a
+        backup) no own prepare whose signature doubles as the reply
+        signature (§3.3)."""
         config = self.config_for(record.seqno)
         nonce = self.own_nonces.get((record.view, record.seqno))
-        if nonce is None:
-            return
+        if nonce is None or record.pp is None:
+            return None
         primary_id = config.primary_for_view(record.view)
         if self.id == primary_id:
             signature = record.pp.signature
         else:
             own_prepare = self.prepares_by_ppd.get(record.pp_digest, {}).get(self.id)
             if own_prepare is None:
-                return
+                return None
             signature = own_prepare.signature
-        if self.params.peer_review:
-            # PeerReview: a signed reply per transaction, not per batch.
-            self.submit("sign", self.costs.sign * max(1, record.request_count()))
-        reply = Reply(
+        return Reply(
             view=record.view,
             seqno=record.seqno,
             replica=self.id,
             signature=signature,
             nonce=nonce.nonce,
         )
+
+    def _maybe_resend_reply(self, tx_digest: Digest, src: str) -> None:
+        """§3.3: a retransmitted request for an executed, committed
+        transaction gets this replica's reply re-sent.  The original
+        reply may simply have been lost in transit, but a replica can
+        also have never sent one at all: a batch that became committed
+        through a ledger install bypasses ``_after_commit`` — fatal when
+        that replica is the primary of the committing view, whose reply
+        every receipt requires.  Only the commit nonce drawn when we
+        proposed or prepared the batch ourselves can be revealed, so
+        purely-installed batches (no own nonce) stay silent."""
+        located = self.tx_locations.get(tx_digest)
+        if located is None:
+            return
+        record = self.batches.get(located[0])
+        if record is None or not record.committed:
+            return
+        if not self.net.has_node(src):
+            return  # a real network drops this; the simulator raises
+        reply = self._build_reply(record)
+        if reply is None:
+            return
+        payload = ("reply", reply.to_wire(), (tx_digest,))
+        if self.behavior is not None:
+            payload = self.behavior.outgoing_reply(self, src, payload)
+            if payload is None:
+                return
+        self.send(src, payload)
+        self.metrics.bump("replies_resent")
+
+    def _send_replies(self, record: BatchRecord) -> None:
+        """One reply per client in the batch; the designated replica also
+        sends the extended ``replyx`` per transaction (§3.3)."""
+        config = self.config_for(record.seqno)
+        reply = self._build_reply(record)
+        if reply is None:
+            return
+        if self.params.peer_review:
+            # PeerReview: a signed reply per transaction, not per batch.
+            self.submit("sign", self.costs.sign * max(1, record.request_count()))
         for client, tx_digests in record.clients.items():
             dst = self.request_sources.get(tx_digests[0])
             if dst is None:
@@ -1453,7 +1513,16 @@ class LPBFTReplicaCore(Node):
         horizon = stable_seqno - self.params.checkpoint_interval
         if horizon <= 0:
             return
-        for seqno in [s for s in self.batches if s < horizon]:
+        # Batches holding governance transactions (and the pending EOC
+        # batch) stay pinned until activation assembles their receipts
+        # into the governance link: a referendum easily spans more than a
+        # checkpoint window under load, and pruning the records first
+        # would leave every replica unable to build the link — clients
+        # could then never verify the new configuration (§5.2).
+        pinned = {seqno for seqno, _, _ in self.gov_tx_log}
+        if self.reconfig is not None:
+            pinned.add(self.reconfig.vote_seqno + self.params.pipeline)
+        for seqno in [s for s in self.batches if s < horizon and s not in pinned]:
             record = self.batches[seqno]
             if not record.committed:
                 continue
@@ -1836,7 +1905,31 @@ class LPBFTReplicaCore(Node):
             self.start_state_sync("ledger_gone")
 
     def handle_get_gov_chain(self, src: str, msg: tuple) -> None:
-        self.send(src, ("gov-chain-resp", self.gov_chain.to_wire()))
+        self.send(
+            src,
+            ("gov-chain-resp", self.gov_chain.to_wire(), self._gov_suffix_entries()),
+        )
+
+    def _gov_suffix_entries(self) -> tuple:
+        """Member-signed governance transactions past the chain's last
+        link, as ``(logical_index, entry_wire)`` pairs (§5.2).
+
+        The chain only carries receipts for governance transactions that
+        *reconfigured* the service; a client gating receipt completion on
+        governance coverage also needs the ones that didn't (failed
+        proposals, in-flight referendums) — otherwise any rejected
+        ``gov.propose`` would leave every later receipt's ``gov_index``
+        unexplained and wedge completion.  Served best-effort from the
+        retained ledger; entries below the GC horizon are simply absent
+        (their referencing receipts completed long ago)."""
+        anchor = 0
+        for link in self.gov_chain.links:
+            for receipt in (link.propose_receipt, *link.vote_receipts):
+                if receipt.index is not None and receipt.index > anchor:
+                    anchor = receipt.index
+        if self.ledger.last_gov_index <= anchor:
+            return ()
+        return self.ledger.gov_entries_after(anchor)
 
     def handle_ack(self, src: str, msg: tuple) -> None:
         # PeerReview acknowledgement: verify it (cost) and log.

@@ -130,6 +130,12 @@ class ViewChangeMixin:
             bool(self.requests)
             or self.prepared_upto > self.committed_upto
             or bool(self.pending_pps)
+            # Batches emitted or accepted beyond the commit frontier that
+            # never even prepared: at quiescence the frontier catches up,
+            # so a whole no-progress period in this state means the
+            # batches are stuck (e.g. the primary's view lost its quorum
+            # while we proposed) and only a view change frees them.
+            or self.next_seqno - 1 > self.committed_upto
         )
         if has_pending and not progressed and self.is_member() and not self.is_primary():
             self._suspect_primary()
@@ -462,7 +468,13 @@ class ViewChangeMixin:
             checkpoint = None
         self._install_ledger_state(ledger, checkpoint, view)
 
-    def _install_ledger_state(self, ledger: Ledger, checkpoint: Checkpoint | None, view: int) -> int:
+    def _install_ledger_state(
+        self,
+        ledger: Ledger,
+        checkpoint: Checkpoint | None,
+        view: int,
+        trusted_schedule=None,
+    ) -> int:
         """Adopt ``ledger`` wholesale: restore the KV store from
         ``checkpoint``, replay only the batches after it, and reconstruct
         per-batch records.  Returns the number of replayed batches.
@@ -485,13 +497,17 @@ class ViewChangeMixin:
         else:
             # Suffix-rooted adoption (the server garbage-collected its
             # prefix): the governance history below the checkpoint is not
-            # in the fetched entries, so the schedule is our own — anchored
-            # at the genesis configuration every replica is constructed
-            # with.  The sync client has already verified each fetched
-            # pre-prepare's signature against this schedule.
+            # in the fetched entries, so the schedule comes from the
+            # caller — the sync client's chain-verified schedule when the
+            # server proved reconfigurations we missed (late join), our
+            # own genesis-anchored schedule otherwise.  The sync client
+            # has already verified each fetched pre-prepare's signature
+            # against this same schedule.
             if checkpoint is None or checkpoint.seqno <= 0:
                 raise ProtocolError("suffix-rooted ledger requires a checkpoint")
-            schedule = self.schedule.copy()
+            schedule = trusted_schedule if trusted_schedule is not None else self.schedule.copy()
+            if schedule.spans()[0].config.number != 0:
+                raise ProtocolError("adopted schedule is not genesis-anchored")
         cp_seqno = 0 if checkpoint is None else checkpoint.seqno
         kv = KVStore()
         if checkpoint is not None:
@@ -531,10 +547,16 @@ class ViewChangeMixin:
             record.pp_digest = pp.digest()
             record.ledger_start = info.pp_index
             record.ledger_end = info.end
-            record.kv_mark = kv.tx_count
             replaying = seqno > cp_seqno
+            # Live execution installs an activated configuration *before*
+            # capturing the batch's kv mark (handle_pre_prepare activates,
+            # then _accept_pre_prepare marks) — match that order here, or a
+            # later view-change rollback to this batch's mark silently
+            # undoes the install and the replica's KV state diverges from
+            # replicas that executed the activation live.
             if replaying and seqno in activations:
                 kv.execute(lambda tx, c=activations[seqno]: install_configuration(tx, c))
+            record.kv_mark = kv.tx_count
             for entry in ledger.entries(info.first_tx, info.end):
                 if isinstance(entry, CheckpointTxEntry):
                     record.tios.append(entry.tio())

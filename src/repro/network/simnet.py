@@ -177,6 +177,7 @@ class SimNetwork:
         self._nodes: dict[str, Node] = {}
         self._partitions: dict[int, tuple[frozenset[str], frozenset[str]]] = {}
         self._partition_counter = 0
+        self._crashed: set[str] = set()
         self._drop_rules: list[Callable[[str, str, Any], bool]] = []
         self._duplicate_rules: list[dict] = []
         self.reorder_window = 0.0
@@ -222,11 +223,26 @@ class SimNetwork:
         return self._partition_counter
 
     def heal(self, partition_id: int | None = None) -> None:
-        """Heal one partition by id, or all of them when id is None."""
+        """Heal one partition by id, or all of them when id is None.
+        Healing never touches crashed nodes: a crash is not a partition,
+        so ``heal()`` between overlapping partition windows cannot
+        resurrect delivery to a node that has not recovered."""
         if partition_id is None:
             self._partitions.clear()
         else:
             self._partitions.pop(partition_id, None)
+
+    def mark_crashed(self, address: str) -> None:
+        """Stop all delivery to and from ``address`` until
+        :meth:`mark_recovered`.  Unlike a partition snapshot, this holds
+        against nodes registered later and against ``heal()``-all."""
+        self._crashed.add(address)
+
+    def mark_recovered(self, address: str) -> None:
+        self._crashed.discard(address)
+
+    def crashed_addresses(self) -> frozenset[str]:
+        return frozenset(self._crashed)
 
     def heal_partitions(self) -> None:
         self.heal()
@@ -319,7 +335,13 @@ class SimNetwork:
         self._reorder_probability = probability
         self._reorder_rng = random.Random(seed) if window > 0 else None
 
+    def has_node(self, address: str) -> bool:
+        """Whether ``address`` is registered on this network."""
+        return address in self._nodes
+
     def _blocked(self, src: str, dst: str) -> bool:
+        if src in self._crashed or dst in self._crashed:
+            return True
         for a, b in self._partitions.values():
             if (src in a and dst in b) or (src in b and dst in a):
                 return True

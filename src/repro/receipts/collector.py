@@ -95,14 +95,26 @@ class ReceiptCollector:
     """
 
     def __init__(
-        self, config: Configuration, verify: bool = True, backend=None, use_cache: bool = True
+        self,
+        config: Configuration,
+        verify: bool = True,
+        backend=None,
+        use_cache: bool = True,
+        completion_gate=None,
     ) -> None:
         self._config = config
+        self._schedule = None
         self._verify = verify
         self._backend = backend
         # Receipts of the same batch share signatures; memoize checks
         # (``use_cache=False`` restores the uncached A/B baseline).
         self._cache = signatures.SignatureVerifyCache() if use_cache else None
+        # An assembled-and-verified receipt still only counts once the
+        # gate (if any) passes it: clients gate on governance *coverage*
+        # (§5.2) so a receipt referencing governance transactions they
+        # have not verified stays pending instead of being accepted
+        # against a configuration that may no longer be in force.
+        self._completion_gate = completion_gate
         self._pending: dict[Digest, PendingRequest] = {}
         self._done: dict[Digest, Receipt] = {}
         self._sent_times: dict[Digest, float] = {}
@@ -112,6 +124,16 @@ class ReceiptCollector:
     def update_config(self, config: Configuration) -> None:
         """Switch to a new configuration (reconfiguration, §5.2)."""
         self._config = config
+
+    def update_schedule(self, schedule) -> None:
+        """Adopt a full configuration schedule (chain-derived, §5.2).
+
+        With a schedule, receipts are assembled and verified against the
+        configuration in force *at their sequence number* — a request that
+        committed just before an activation must not be judged by the
+        successor configuration's quorum, and vice versa."""
+        self._schedule = schedule
+        self._config = schedule.current()
 
     @property
     def config(self) -> Configuration:
@@ -170,35 +192,65 @@ class ReceiptCollector:
         pending.replyx[(replyx.view, replyx.seqno)] = replyx
         return self._try_complete(tx_digest, pending, (replyx.view, replyx.seqno))
 
+    def recheck(self) -> list[tuple[Digest, Receipt]]:
+        """Re-attempt completion of every pending request.
+
+        Called after the configuration schedule or the completion gate's
+        inputs change (a governance chain arrived): receipts that were
+        deferred — or that now assemble under a different configuration —
+        can complete without waiting for another reply."""
+        finished: list[tuple[Digest, Receipt]] = []
+        for tx_digest, pending in list(self._pending.items()):
+            for key in list(pending.replyx):
+                receipt = self._try_complete(tx_digest, pending, key)
+                if receipt is not None:
+                    finished.append((tx_digest, receipt))
+                    break
+        return finished
+
+    def _config_for(self, seqno: int) -> Configuration:
+        if self._schedule is not None:
+            return self._schedule.config_at_seqno(seqno)
+        return self._config
+
     def _try_complete(
         self, tx_digest: Digest, pending: PendingRequest, key: tuple[int, int]
     ) -> Receipt | None:
+        config = self._config_for(key[1])
         replyx = pending.replyx.get(key)
         replies = pending.replies.get(key, {})
-        primary_id = self._config.primary_for_view(key[0])
-        if replyx is None or len(replies) < self._config.quorum or primary_id not in replies:
+        primary_id = config.primary_for_view(key[0])
+        if replyx is None or len(replies) < config.quorum or primary_id not in replies:
             return None
-        receipt = assemble_receipt(pending.request_wire, replies, replyx, self._config)
-        if self._verify and not verify_receipt(receipt, self._config, self._backend, cache=self._cache):
+        try:
+            receipt = assemble_receipt(pending.request_wire, replies, replyx, config)
+        except ReceiptError:
+            # Replies collected under an earlier configuration can be
+            # unassemblable under the one now in force (e.g. a signer id
+            # outside the replica set); keep collecting.
+            return None
+        if self._verify and not verify_receipt(receipt, config, self._backend, cache=self._cache):
             # Some reply carries invalid evidence.  With more than a quorum
             # of replies, retry quorum-sized subsets (primary always
             # included) — a correct quorum yields a verifiable receipt.
-            receipt = self._retry_subsets(pending, replies, replyx, primary_id)
+            receipt = self._retry_subsets(pending, replies, replyx, primary_id, config)
             if receipt is None:
                 return None
+        if self._completion_gate is not None and not self._completion_gate(receipt):
+            return None
         del self._pending[tx_digest]
         self._done[tx_digest] = receipt
         return receipt
 
-    def _retry_subsets(self, pending, replies, replyx, primary_id):
-        if len(replies) <= self._config.quorum:
+    def _retry_subsets(self, pending, replies, replyx, primary_id, config):
+        if len(replies) <= config.quorum:
             return None
         others = [r for r in sorted(replies) if r != primary_id]
         for dropped in others:
             subset = {r: m for r, m in replies.items() if r != dropped}
-            if len(subset) < self._config.quorum:
+            if len(subset) < config.quorum:
                 continue
-            candidate = assemble_receipt(pending.request_wire, subset, replyx, self._config)
-            if verify_receipt(candidate, self._config, self._backend, cache=self._cache):
+            candidate = assemble_receipt(pending.request_wire, subset, replyx, config)
+            if verify_receipt(candidate, config, self._backend, cache=self._cache):
                 return candidate
         return None

@@ -120,6 +120,10 @@ class StateSyncClient:
         # True once the server refused our splice point and we fell back
         # to requesting the suffix from the checkpoint boundary.
         self._cp_rooted = False
+        # The schedule the current suffix verifies under (set per
+        # sync-ledger message; includes reconfigurations we missed when
+        # the server's governance chain proves them).
+        self._suffix_schedule = None
         self._started_at = 0.0
         self.last_result: dict | None = None
 
@@ -162,6 +166,7 @@ class StateSyncClient:
         self._inflight = set()
         self._to_request = []
         self._cp_rooted = False
+        self._suffix_schedule = None
 
     # -- phases -------------------------------------------------------------
 
@@ -381,7 +386,7 @@ class StateSyncClient:
         if self.phase != LEDGER or src != self.server:
             return
         if (
-            len(msg) != 5
+            len(msg) not in (5, 6)
             or not isinstance(msg[1], int)
             or not isinstance(msg[2], tuple)
             or not isinstance(msg[3], int)
@@ -389,30 +394,83 @@ class StateSyncClient:
             self._failover("malformed_ledger")
             return
         start, entry_wires, view, tip_seqno = msg[1], msg[2], msg[3], msg[4]
+        chain_wire = msg[5] if len(msg) == 6 else None
         if start not in (0, self._base_len):
             self._failover("bad_suffix_start")
             return
         replica = self.replica
         try:
+            self._suffix_schedule = self._trusted_suffix_schedule(chain_wire)
             checkpoint = self._verified_checkpoint()
             ledger = self._verified_ledger(start, entry_wires, checkpoint)
         except (ProtocolError, LedgerError, MerkleError, KVError) as exc:
             replica.metrics.bump("sync_verification_failures")
             self._failover(f"verify:{type(exc).__name__}")
             return
-        if ledger.last_seqno() <= replica.committed_upto and replica.committed_upto > 0:
+        if (
+            ledger.last_seqno() <= replica.committed_upto
+            and replica.committed_upto > 0
+            and view <= replica.view
+        ):
             # The server offered nothing newer than we already have —
-            # treat as success, normal operation resumes from here.
+            # treat as success, normal operation resumes from here.  A
+            # *higher* server view is newer even at an equal tip (we
+            # recovered into a view change): fall through and install, so
+            # the new view is adopted instead of stalling on stale
+            # pre-prepares as the old view's primary.
             self._finish(checkpoint, ledger, installed=False)
             return
         try:
-            replayed = replica._install_ledger_state(ledger, checkpoint, view)
+            replayed = replica._install_ledger_state(
+                ledger, checkpoint, view, trusted_schedule=self._suffix_schedule
+            )
         except (ProtocolError, LedgerError, KVError) as exc:
             replica.metrics.bump("sync_verification_failures")
             self._failover(f"install:{type(exc).__name__}")
             return
         self._finish(checkpoint, ledger, installed=True, replayed=replayed,
                      fetched_entries=len(entry_wires))
+
+    def _trusted_suffix_schedule(self, chain_wire):
+        """The configuration schedule a suffix-rooted ledger verifies
+        under: our own, superseded by the server's governance chain when
+        that chain verifies against our genesis and reaches further.
+
+        This is the late-join path: a replica constructed before a
+        reconfiguration it missed has a genesis-only schedule, and
+        without the chain it would adopt the suffix under config 0 —
+        never recognising itself as a member of the active configuration.
+        The chain is quorum-signed end-of-configuration receipts, so a
+        Byzantine server still cannot fabricate governance history.
+        """
+        # Imported lazily: repro.receipts imports the lpbft messages, so
+        # a module-level import would be circular.
+        from ..errors import ReceiptError
+        from ..receipts import GovernanceChain, verify_chain
+
+        replica = self.replica
+        own = replica.schedule.copy()
+        if chain_wire is None:
+            return own
+        try:
+            chain = GovernanceChain.from_wire(chain_wire)
+            genesis = own.spans()[0].config
+            if chain.genesis_config_wire != genesis.to_wire():
+                raise ProtocolError("sync governance chain has a different genesis")
+            schedule = verify_chain(
+                chain,
+                replica.params.pipeline,
+                replica.backend,
+                cache=replica.verify_cache,
+            )
+        except ReceiptError as exc:
+            raise ProtocolError(f"sync governance chain invalid: {exc}") from exc
+        if len(schedule.spans()) <= len(own.spans()):
+            return own
+        if len(chain) > len(replica.gov_chain):
+            replica.gov_chain = chain
+        replica.metrics.bump("sync_chain_schedules_adopted")
+        return schedule
 
     # -- verification ----------------------------------------------------------
 
@@ -563,12 +621,17 @@ class StateSyncClient:
         replica = self.replica
         if ledger.base_index > 0:
             # Suffix-rooted ledger: the governance history below the
-            # checkpoint is not in the entries; the anchor is our own
-            # schedule, which every replica derives from the genesis
-            # configuration it was constructed with.  (A joiner that
-            # missed a reconfiguration must fetch the governance chain
-            # first — its pre-prepare checks would fail here otherwise.)
-            schedule = replica.schedule.copy()
+            # checkpoint is not in the entries.  The anchor is our own
+            # schedule — extended by the server's governance chain when
+            # it verifiably reaches further (the late-join path: a
+            # joiner constructed before a reconfiguration would
+            # otherwise check config-1 batches under config 0 and stay
+            # stranded outside the membership forever).
+            schedule = (
+                self._suffix_schedule
+                if self._suffix_schedule is not None
+                else replica.schedule.copy()
+            )
         else:
             try:
                 schedule = extract_governance_subledger(

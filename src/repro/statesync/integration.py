@@ -108,6 +108,11 @@ class StateSyncMixin:
             self.send(source, ("get-gov-chain",))
         self.metrics.bump("sync_resumes")
         self._retry_pending_pps()
+        # If we resumed as the primary with admitted-but-unproposed
+        # requests, propose them now: client retransmissions of a request
+        # already in ``self.requests`` do not re-arm the batch timer, so
+        # nothing else would ever kick the pipeline.
+        self.maybe_send_pre_prepare()
         self._arm_view_change_timer()
 
     # -- crash/recovery modeling ----------------------------------------------

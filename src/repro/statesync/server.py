@@ -192,9 +192,21 @@ class StateSyncServer:
         fragment = replica.ledger.fragment(start, end)
         replica.submit("append", len(fragment) * replica.costs.ledger_append)
         replica.metrics.bump("sync_ledger_serves")
+        # A suffix does not carry the governance history below its base;
+        # the governance chain (quorum-signed end-of-configuration
+        # receipts) lets a joiner that missed a reconfiguration derive
+        # the configuration schedule anyway, anchored at genesis.
+        chain_wire = replica.gov_chain.to_wire() if start > 0 else None
         replica.send(
             src,
-            ("sync-ledger", start, fragment.entry_wires, replica.view, replica.committed_upto),
+            (
+                "sync-ledger",
+                start,
+                fragment.entry_wires,
+                replica.view,
+                replica.committed_upto,
+                chain_wire,
+            ),
         )
 
     # -- chunk cache ---------------------------------------------------------

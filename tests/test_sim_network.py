@@ -690,3 +690,50 @@ def test_regions_matrix_upper_triangle_is_symmetric():
     model = regions_matrix("upper", ("x", "y"), [[0.0, 5.0], [0.0, 0.0]])
     assert model.one_way("x", "y") == pytest.approx(5e-3)
     assert model.one_way("y", "x") == pytest.approx(5e-3)  # not a 0-second link
+
+
+class TestCrashModeling:
+    """A crash is first-class network state, not a partition snapshot:
+    it must hold against ``heal()``-all, against partitions registered
+    while the node was down, and against nodes registered later."""
+
+    def _pair(self, net):
+        a, b = Echo("a"), Echo("b")
+        net.register(a)
+        net.register(b)
+        return a, b
+
+    def test_crash_survives_heal_before_recover(self):
+        # Regression: a partition registered while a replica is crashed,
+        # then healed *before* the recover, must not resurrect delivery.
+        net = SimNetwork()
+        a, b = self._pair(net)
+        net.mark_crashed("b")
+        net.partition({"a"}, {"b"})
+        net.heal_partitions()  # heal-before-recover ordering
+        a.send("b", "ping")
+        b.send("a", "pong")
+        net.run()
+        assert b.received == []
+        assert a.received == []
+        net.mark_recovered("b")
+        a.send("b", "ping")
+        net.run()
+        assert len(b.received) == 1
+
+    def test_crash_holds_against_nodes_registered_later(self):
+        net = SimNetwork()
+        a = Echo("a")
+        net.register(a)
+        net.mark_crashed("a")
+        c = Echo("c")
+        net.register(c)  # joins after the crash; no snapshot could cover it
+        c.send("a", "ping")
+        net.run()
+        assert a.received == []
+        assert net.crashed_addresses() == frozenset({"a"})
+        net.mark_recovered("a")
+        assert net.crashed_addresses() == frozenset()
+        c.send("a", "ping")
+        net.run()
+        assert len(a.received) == 1

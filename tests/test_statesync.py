@@ -220,3 +220,67 @@ class TestEncodeStream:
         data = codec.encode_stream(values)
         assert list(codec.decode_stream(data)) == [1, "two", b"three", (4, None), {"five": 5}]
         assert data == b"".join(codec.encode(v) for v in values)
+
+
+class TestLateJoinAfterActivation:
+    """A proposed member that deploys only *after* its configuration has
+    activated — and after ledger GC truncated the prefix holding the
+    governance transactions — must still reach active membership.
+
+    The checkpoint-rooted transfer cannot replay governance from the
+    (collected) prefix, so the server attaches its governance chain and
+    the newcomer verifies it from its own genesis anchor to recover the
+    configuration schedule.  Pre-fix the newcomer adopted a genesis-only
+    schedule, never considered itself a member, and was stranded forever.
+    """
+
+    def test_gc_truncated_prefix_newcomer_becomes_member(self):
+        from helpers import FAST_PARAMS, build_deployment
+        from repro.workloads import SmallBankWorkload
+
+        params = FAST_PARAMS.variant(ledger_gc_min_age=0.2, view_change_timeout=5.0)
+        dep = build_deployment(params=params, seed=b"latejoin-gc")
+        rid = 4
+        dep.provision_replica(rid)  # referendum first, deploy after activation
+        client = dep.add_client(retry_timeout=0.5)
+        members = {m: dep.member_client(m) for m in ("member-0", "member-1", "member-2")}
+        dep.start()
+        wl = SmallBankWorkload(n_accounts=200, seed=21)
+        for _ in range(20):
+            client.submit(*wl.next_transaction(), min_index=0)
+        dep.run(until=0.3)
+
+        new_config = dep.propose_successor(add=[rid])
+        members["member-0"].submit(
+            "gov.propose", {"member": "member-0", "config": new_config.to_wire()}, min_index=0
+        )
+        dep.run(until=0.5)
+        for name in members:
+            members[name].submit("gov.vote", {"member": name, "accept": True}, min_index=0)
+            dep.run(until=dep.net.scheduler.now + 0.2)
+        dep.run(until=3.0)
+        assert all(r.schedule.current().number == 1 for r in dep.replicas)
+
+        # Waves of traffic so checkpoints stabilise and GC collects the
+        # prefix containing the governance transactions.
+        for _ in range(6):
+            for _ in range(25):
+                client.submit(*wl.next_transaction(), min_index=0)
+            dep.run(until=dep.net.scheduler.now + 0.4)
+        dep.run(until=dep.net.scheduler.now + 1.0)
+        assert any(r.ledger.base_index > 0 for r in dep.replicas), "precondition: GC never ran"
+
+        t0 = dep.net.scheduler.now
+        newcomer = dep.add_replica(rid)
+        dep.run(until=t0 + 5.0)
+        assert newcomer.schedule.current().number == 1
+        assert newcomer.is_member()
+        assert newcomer.metrics.counters.get("sync_chain_schedules_adopted", 0) >= 1
+
+        # And it participates: fresh traffic commits on the newcomer too.
+        n_rec = len(client.receipts)
+        for _ in range(20):
+            client.submit(*wl.next_transaction(), min_index=0)
+        dep.run(until=dep.net.scheduler.now + 6.0)
+        assert len(client.receipts) - n_rec == 20
+        assert newcomer.committed_upto == max(r.committed_upto for r in dep.replicas)

@@ -297,3 +297,53 @@ class TestChunkTransferResumption:
         dep, victim, _ = self._run_with_dying_server(drop_after=2)
         assert len({r.kv.state_digest() for r in dep.replicas}) == 1
         assert dep.ledgers_agree()
+
+
+class TestRecoverDuringViewChange:
+    """Crash the primary while another replica is already down, so the
+    survivors start a view change that cannot reach quorum; then recover
+    the primary with a resync mid-view-change.  The recovering replica's
+    sync sees a server whose *tip* equals its own but whose *view* is
+    newer — it must adopt the new view rather than resume in the old one
+    (with n=4 and one replica still dark, resuming stale stalls the
+    service forever).  This schedule was mined by the chaos fuzzer and
+    cornered three more bugs on the way to quiescence: stuck proposed-
+    but-never-prepared batches escaping the view-change timer's pending
+    predicate, a resumed primary never re-proposing admitted requests,
+    and a replica whose batch committed via ledger install never sending
+    its reply (fatal when it is the committing view's primary, whose
+    reply every receipt requires)."""
+
+    def test_recovered_primary_adopts_new_view_and_receipts_complete(self):
+        from helpers import FAST_PARAMS
+
+        params = FAST_PARAMS.variant(view_change_timeout=1.0)
+        dep = build_deployment(params=params, seed=b"recover-vc")
+        client = dep.add_client(retry_timeout=0.5)
+        dep.start()
+        wl = SmallBankWorkload(n_accounts=200, seed=9)
+        for _ in range(20):
+            client.submit(*wl.next_transaction(), min_index=0)
+        dep.run(until=0.5)
+        assert all(r.committed_upto >= 1 for r in dep.replicas)
+
+        # Crash a backup, then the primary: only 2 of 4 stay up, so the
+        # view change the survivors start can never gather its quorum.
+        dep.crash_replica(3)
+        dep.crash_replica(0)
+        for _ in range(5):
+            client.submit(*wl.next_transaction(), min_index=0)
+        dep.run(until=dep.net.scheduler.now + 3.0)
+
+        dep.recover_replica(0, resync=True)
+        dep.run(until=dep.net.scheduler.now + 60.0)
+
+        live = [dep.replicas[i] for i in (0, 1, 2)]
+        assert len({r.view for r in live}) == 1, "live replicas never converged on a view"
+        assert live[0].view > 0, "recovered replica resumed in the stale view"
+        assert not live[0].syncing and live[0].ready
+        frontier = max(r.committed_upto for r in dep.replicas)
+        assert all(r.committed_upto == frontier for r in live)
+        # Every submitted transaction ends with a full receipt — the
+        # install-committed primary re-sends its reply on retransmission.
+        assert len(client.receipts) == 25
