@@ -71,14 +71,20 @@ def run_iaccf_point(
     arrival: str = "poisson",
     lane_metrics: bool = False,
     client_kwargs: dict | None = None,
+    trace: bool = False,
 ) -> BenchPoint:
     """Measure IA-CCF (or a feature variant of it) at one offered load.
 
     ``arrival`` picks the open-loop arrival process (``"poisson"``, the
     paper-style default, or ``"fixed"``), seeded with ``seed``.
-    ``lane_metrics`` enables CPU trace recording on the primary and
-    reports exact per-lane utilization over the measurement window
-    (``extra["lane_utilization"]``).
+    ``lane_metrics`` reports exact per-lane utilization over the
+    measurement window (``extra["lane_utilization"]``) from the primary
+    CPU's windowed-utilization snapshot (no item trace needed).
+
+    ``trace`` enables span tracing for the whole run: ``extra["stages"]``
+    gets the per-stage latency breakdown (Tab. 3 view) and
+    ``extra["tracer"]`` the live :class:`~repro.obs.trace.Tracer` for
+    export.
 
     ``partition`` — ``(isolated_replica_ids, start, duration)`` — schedules
     a transient partition during the run (WAN outage scenarios); it heals
@@ -114,7 +120,8 @@ def run_iaccf_point(
     load.recording = False
     primary_metrics = dep.metrics
     if lane_metrics:
-        dep.replicas[0].cpu.trace = []
+        dep.replicas[0].cpu.enable_utilization_tracking()
+    tracer = dep.enable_tracing() if trace else None
     dep.start()
     if partition is not None:
         isolated_ids, p_start, p_duration = partition
@@ -124,7 +131,7 @@ def run_iaccf_point(
     dep.run(until=duration + 0.2)
     if lane_metrics:
         primary_metrics.record_lane_utilization(
-            dep.replicas[0].cpu.utilization_between(warmup, duration)
+            dep.replicas[0].cpu.utilization_window(warmup, duration)
         )
     summary = primary_metrics.summary()
     lat = load.metrics.latency
@@ -152,7 +159,13 @@ def run_iaccf_point(
         "wasted_verify_s": round(
             sum(r.wasted_verify_seconds() for r in dep.replicas), 6
         ),
+        "latency_p999_ms": lat.p999() * 1e3,
     }
+    if tracer is not None:
+        from ..obs.export import stage_breakdown
+
+        extra["stages"] = stage_breakdown(tracer)
+        extra["tracer"] = tracer
     if primary_metrics.queue_delay.count:
         extra["queue_delay_p50_ms"] = primary_metrics.queue_delay.p50() * 1e3
         extra["queue_delay_p90_ms"] = primary_metrics.queue_delay.p90() * 1e3

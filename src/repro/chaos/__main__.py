@@ -39,7 +39,9 @@ def build_params(args) -> ChaosParams:
 
 def run_one(seed: int, params: ChaosParams, args) -> bool:
     schedule = generate_schedule(seed, params)
-    result = run_schedule(schedule)
+    # Span tracing is passive (same event trace and digest either way),
+    # so run with it on: a failing seed dumps a Perfetto trace for free.
+    result = run_schedule(schedule, trace=True)
     status = "ok" if result.ok else "FAIL"
     print(f"seed {seed}: {status}  events={len(schedule.events)} "
           f"trace_digest={result.trace_digest[:16]}  {result.summary}")
@@ -51,6 +53,13 @@ def run_one(seed: int, params: ChaosParams, args) -> bool:
         for violation in result.violations:
             print(f"  ORACLE VIOLATION: {violation}")
         print(f"  replay: {result.replay_command}")
+        if result.span_tracer is not None:
+            from ..obs.export import write_perfetto
+
+            trace_path = f"chaos-trace-seed{seed}.json"
+            write_perfetto(trace_path, result.span_tracer)
+            print(f"  trace: {trace_path} (open in ui.perfetto.dev, "
+                  f"or: python -m repro.obs summarize {trace_path})")
         if args.shrink:
             minimal, runs = shrink_schedule(schedule)
             print(f"  shrunk to {len(minimal.events)} events in {runs} runs:")

@@ -36,6 +36,11 @@ class ChaosResult:
     violations: list[str] = field(default_factory=list)
     trace: tuple[str, ...] = ()
     summary: dict = field(default_factory=dict)
+    #: Live span tracer when the run was started with ``trace=True``
+    #: (spans + fault annotations); exportable via
+    #: :func:`repro.obs.export.write_perfetto`.  Excluded from the event
+    #: trace and its digest, which stay byte-identical either way.
+    span_tracer: object = None
 
     @property
     def ok(self) -> bool:
@@ -52,13 +57,18 @@ class ChaosResult:
         return f"PYTHONPATH=src python -m repro.chaos --seed {self.schedule.seed}{suffix}"
 
 
-def run_seed(seed: int, params: ChaosParams | None = None) -> ChaosResult:
+def run_seed(seed: int, params: ChaosParams | None = None,
+             trace: bool = False) -> ChaosResult:
     """Generate the schedule for ``seed`` and run it."""
-    return run_schedule(generate_schedule(seed, params))
+    return run_schedule(generate_schedule(seed, params), trace=trace)
 
 
-def run_schedule(schedule: Schedule) -> ChaosResult:
-    """Run ``schedule`` to quiescence and evaluate every oracle."""
+def run_schedule(schedule: Schedule, trace: bool = False) -> ChaosResult:
+    """Run ``schedule`` to quiescence and evaluate every oracle.
+
+    ``trace=True`` additionally records request/fault spans (the span
+    tracer is passive — it never schedules work — so the event trace and
+    its pinned digest are identical with or without it)."""
     from repro.lpbft import Deployment, ProtocolParams
     from repro.workloads import SmallBankWorkload, initial_state, register_smallbank
 
@@ -79,6 +89,7 @@ def run_schedule(schedule: Schedule) -> ChaosResult:
         initial_state=initial_state(200),
         seed=b"chaos|" + str(schedule.seed).encode(),
     )
+    span_tracer = dep.enable_tracing() if trace else None
     # Provision (but do not deploy) every replica the schedule may add,
     # so a referendum can propose it before it exists — the late-join
     # flow under test.
@@ -121,6 +132,7 @@ def run_schedule(schedule: Schedule) -> ChaosResult:
         schedule=schedule,
         violations=violations,
         trace=tuple(trace),
+        span_tracer=span_tracer,
         summary={
             "committed": [r.committed_upto for r in dep.replicas],
             "views": [r.view for r in dep.replicas],
@@ -149,6 +161,10 @@ class _EventRunner:
     def apply(self, event: FaultEvent) -> None:
         outcome = getattr(self, f"_apply_{event.kind}")(event)
         self.trace.append(f"{event.describe()} -> {outcome}")
+        if self.dep.tracer.enabled:
+            self.dep.tracer.annotate(
+                f"fault:{event.kind}", "chaos", event.time,
+                args=list(event.args), outcome=outcome)
         self.violations.extend(step_oracles(self.dep, event))
 
     # -- one method per fault kind ------------------------------------------------

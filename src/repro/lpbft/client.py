@@ -103,6 +103,11 @@ class LPBFTClient(Node):
         # not be able to make the client abandon a live receipt).
         self.gc_unavailable: dict[Digest, tuple[int, bytes] | None] = {}
         self._gone_reports: dict[Digest, dict[str, tuple[int, bytes]]] = {}
+        # Tracing (populated only while a deployment tracer is enabled):
+        # root "request" span per in-flight tx, and the first reply's
+        # arrival instant (start of the receipt-assembly stage).
+        self._root_spans: dict[Digest, Any] = {}
+        self._first_reply: dict[Digest, float] = {}
 
     # -- submitting requests ----------------------------------------------------
 
@@ -134,6 +139,19 @@ class LPBFTClient(Node):
         tx_digest = request.request_digest()
         self.collector.track(tx_digest, request.to_wire(), now=self.now)
         payload = ("request", request.to_wire())
+        if self.tracer.enabled:
+            root = self.tracer.root_span(
+                "request", self.address, self.now,
+                tx=tx_digest.hex()[:16], procedure=procedure)
+            self._root_spans[tx_digest] = root
+            prev_ctx = self._send_ctx
+            self._send_ctx = root.context
+            try:
+                for address in self.replica_addresses:
+                    self.send(address, payload)
+            finally:
+                self._send_ctx = prev_ctx
+            return tx_digest
         for address in self.replica_addresses:
             self.send(address, payload)
         return tx_digest
@@ -153,11 +171,15 @@ class LPBFTClient(Node):
         if kind == "reply":
             reply = Reply.from_wire(msg[1])
             for tx_digest in msg[2]:
+                if self.tracer.enabled and tx_digest in self._root_spans:
+                    self._first_reply.setdefault(tx_digest, self.now)
                 finished = self.collector.add_reply(tx_digest, reply)
                 if finished is not None:
                     self._complete(tx_digest, finished)
         elif kind == "replyx":
             replyx = ReplyX.from_wire(msg[1])
+            if self.tracer.enabled and replyx.tx_digest in self._root_spans:
+                self._first_reply.setdefault(replyx.tx_digest, self.now)
             self._note_gov_index(replyx.gov_index)
             finished = self.collector.add_replyx(replyx.tx_digest, replyx)
             if finished is not None:
@@ -185,6 +207,15 @@ class LPBFTClient(Node):
             self.metrics.latency.record(latency)
             self.metrics.goodput.record(self.now)
             self.metrics.bump("receipts_completed")
+        if self.tracer.enabled:
+            root = self._root_spans.pop(tx_digest, None)
+            if root is not None:
+                first = self._first_reply.pop(tx_digest, self.now)
+                self.tracer.span(
+                    "receipt", self.address, first, parent=root, end=self.now,
+                    replies=True)
+                root.set(seqno=receipt.seqno)
+                root.finish(self.now)
         if self.on_receipt is not None:
             self.on_receipt(tx_digest, receipt, latency)
 
@@ -401,6 +432,12 @@ class LPBFTClient(Node):
     def _abandon(self, tx_digest: Digest) -> None:
         if self.collector.abandon(tx_digest) and self.recording:
             self.metrics.bump("requests_abandoned")
+        if self.tracer.enabled:
+            root = self._root_spans.pop(tx_digest, None)
+            if root is not None:
+                root.set(abandoned=True)
+                root.finish(self.now)
+            self._first_reply.pop(tx_digest, None)
         self._attempts.pop(tx_digest, None)
         self._next_retry.pop(tx_digest, None)
         self._rejected_attempt.pop(tx_digest, None)
@@ -434,6 +471,12 @@ class LPBFTClient(Node):
                 continue
             self._attempts[tx_digest] = attempt + 1
             payload = ("request", self.collector.request_wire(tx_digest))
+            if self.tracer.enabled:
+                # Retransmissions rejoin the original request's trace.
+                root = self._root_spans.get(tx_digest)
+                self._send_ctx = root.context if root is not None else None
+                self.tracer.annotate("retry", self.address, now,
+                                     tx=tx_digest.hex()[:16], attempt=attempt + 1)
             for address in self.replica_addresses:
                 self.send(address, payload)
             self._retry_cursor = (self._retry_cursor + 1) % len(self.replica_addresses)
@@ -497,4 +540,5 @@ class LoadGenerator(LPBFTClient):
             self.submit(procedure, args, min_index=0)
             self.submitted += 1
             self.metrics.offered.record(self.now)
+            self.metrics.bump("requests_submitted")
         self.set_timer(self.arrivals.delay_until_next(self.now), self._tick)

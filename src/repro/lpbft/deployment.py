@@ -18,6 +18,7 @@ from ..governance.transactions import register_governance_procedures
 from ..kvstore import ProcedureRegistry
 from ..network import SimNetwork, constant_latency
 from ..network.latency import LatencyModel
+from ..obs.trace import NULL_TRACER, Tracer
 from ..sim.costs import CostModel
 from ..sim.metrics import MetricsCollector
 from .client import LoadGenerator, LPBFTClient
@@ -139,6 +140,20 @@ class Deployment:
         self.service_name = self.replicas[0].service_name
         self._client_counter = 0
         self._crashed_ids: set[int] = set()
+        self.tracer = NULL_TRACER
+
+    # -- observability ---------------------------------------------------------
+
+    def enable_tracing(self, tracer: Tracer | None = None) -> Tracer:
+        """Turn span tracing on for every node attached to this deployment
+        (replicas, clients — including ones added later, which pick the
+        tracer up at registration).  Off by default: nodes carry the
+        shared no-op :data:`~repro.obs.trace.NULL_TRACER` until this is
+        called, so the untraced hot path never builds a span."""
+        self.tracer = tracer or Tracer()
+        for node in [*self.replicas, *self.clients]:
+            node.tracer = self.tracer
+        return self.tracer
 
     # -- clients ---------------------------------------------------------------
 
@@ -201,6 +216,7 @@ class Deployment:
             **kwargs,
         )
         self.net.register(client)
+        client.tracer = self.tracer
         self.clients.append(client)
         return client
 
@@ -230,6 +246,7 @@ class Deployment:
             **kwargs,
         )
         self.net.register(client)
+        client.tracer = self.tracer
         self.clients.append(client)
         return client
 
@@ -266,6 +283,7 @@ class Deployment:
             verify_cache=self.verify_cache,
         )
         self.net.register(replica)
+        replica.tracer = self.tracer
         self.replicas.append(replica)
         for peer in self.replicas[:-1]:
             peer.replica_directory[rid] = replica.address

@@ -140,6 +140,7 @@ class BatchRecord:
     ledger_end: int = 0  # ledger size after the batch's last entry
     prepared: bool = False
     committed: bool = False
+    quorum_span: object = None  # open "quorum" Span while tracing
 
     def request_count(self) -> int:
         return sum(1 for d in self.tx_digests if d is not None)
@@ -249,6 +250,10 @@ class LPBFTReplicaCore(Node):
         # admission budget and deadline shedding project with.
         self._verified_requests: set[Digest] = set()
         self._exec_cost_ewma: float | None = None
+        # Tracing: per-request parent span context (the client's root
+        # span, carried as network metadata on the request message).
+        # Populated only while a deployment tracer is enabled.
+        self._trace_ctxs: dict[Digest, object] = {}
         self.batches: dict[int, BatchRecord] = {}
         self.pps: dict[tuple[int, int], PrePrepare] = {}
         self.ppd_index: dict[Digest, tuple[int, int]] = {}
@@ -257,7 +262,7 @@ class LPBFTReplicaCore(Node):
         self.pending_commits: dict[tuple[int, int], list[Commit]] = {}
         self.own_nonces: dict[tuple[int, int], NonceCommitment] = {}
         self.tx_locations: dict[Digest, tuple[int, int]] = {}  # digest -> (seqno, index)
-        self.pending_pps: list[tuple[tuple, tuple]] = []  # stashed (pp_wire, digests)
+        self.pending_pps: list[tuple] = []  # stashed (pp_wire, digests, trace_ctx)
         # Peers we have an outstanding legacy fetch-ledger to: only a
         # solicited `ledger-gone` may suspend us into a state transfer.
         self._fetch_ledger_pending: set[str] = set()
@@ -411,13 +416,22 @@ class LPBFTReplicaCore(Node):
         # primary sequences.  Without it every replica admits (and sheds)
         # independently — the PR 3 regime.
         admission_point = not self.params.coordinated_admission or self.is_primary()
+        tracing = self.tracer.enabled
+        if tracing:
+            arrived = self.now
+            if self._inbound_ctx is not None:
+                self._trace_ctxs.setdefault(tx_digest, self._inbound_ctx)
         if not force:
             if admission_point:
                 reason = self._admission_check()
                 if reason is not None:
                     # Shed at ingress, *before* paying any verification
                     # cost; the rejection tells the client to back off.
-                    self.metrics.bump("requests_shed")
+                    self.metrics.bump("requests_shed", reason=reason)
+                    if tracing:
+                        self.tracer.annotate(
+                            "shed", self.address, self.now,
+                            reason=reason, tx=tx_digest.hex()[:16])
                     self.send(src, ("reject", tx_digest, reason))
                     return
             elif not self._stash_has_room():
@@ -443,6 +457,14 @@ class LPBFTReplicaCore(Node):
         self.requests[tx_digest] = request
         self.request_order.append(tx_digest)
         self.request_arrivals.setdefault(tx_digest, self.now)
+        if tracing:
+            # Admission at the admission point, stash on backups — either
+            # way the causal child of the client's request span.
+            self.tracer.span(
+                "admission" if admission_point else "stash",
+                self.address, arrived,
+                parent=self._trace_ctxs.get(tx_digest),
+                end=self.cpu_time(), verified=bool(verify_now))
         if record_source:
             self.request_sources[tx_digest] = src
         if self.is_primary():
@@ -565,6 +587,12 @@ class LPBFTReplicaCore(Node):
         if self.requests.pop(tx_digest, None) is None:
             return
         self.request_arrivals.pop(tx_digest, None)
+        if self.tracer.enabled:
+            self.tracer.annotate(
+                "shed", self.address, self.now,
+                reason=reject_reason or (counter or "dropped"),
+                tx=tx_digest.hex()[:16])
+            self._trace_ctxs.pop(tx_digest, None)
         if tx_digest in self._verified_requests:
             self._verified_requests.discard(tx_digest)
             if self.params.sign_client_requests and self.params.use_signatures:
@@ -601,12 +629,21 @@ class LPBFTReplicaCore(Node):
         ]
         if not unverified:
             return True
+        verify_span = None
+        if self.tracer.enabled:
+            verify_span = self.tracer.span(
+                "verify", self.address, self.cpu_time(),
+                parent=next((self._trace_ctxs[d] for d in unverified
+                             if d in self._trace_ctxs), None),
+                count=len(unverified))
         verdicts = self._verify_many(
             [
                 (r.client, r.signed_payload(), r.signature)
                 for r in (self.requests[d] for d in unverified)
             ]
         )
+        if verify_span is not None:
+            verify_span.finish(self.cpu_time())
         all_ok = True
         for tx_digest, ok in zip(unverified, verdicts):
             if ok:
@@ -801,6 +838,15 @@ class LPBFTReplicaCore(Node):
 
     def _emit_batch(self, s: int, flags: int, selected: list[Digest]) -> None:
         """Execute and pre-prepare one batch (primary side)."""
+        pp_span = None
+        if self.tracer.enabled:
+            # The batch rides the first traced request's trace; its seqno
+            # attribute lets the summarizer join the other requests in.
+            pp_span = self.tracer.span(
+                "pre-prepare", self.address, self.cpu_time(),
+                parent=next((self._trace_ctxs[d] for d in selected
+                             if d in self._trace_ctxs), None),
+                seqno=s, view=self.view, n=len(selected), role="primary")
         ledger_mark = len(self.ledger)
         kv_mark = self.kv.tx_count
         ev_bitmap = self._append_evidence(s)
@@ -810,11 +856,20 @@ class LPBFTReplicaCore(Node):
         pp = self._finalize_batch(record, ev_bitmap)
         batch_digests = tuple(d for d in record.tx_digests if d is not None)
         payload = ("pre-prepare", pp.to_wire(), batch_digests)
+        if pp_span is not None:
+            # Outgoing pre-prepares (and everything else this activity
+            # sends) carry the batch span as causal parent.
+            self._send_ctx = pp_span.context
         for dst in self.peer_addresses():
             out = payload if self.behavior is None else self.behavior.outgoing_pre_prepare(self, dst, payload)
             if out is not None:
                 self.send(dst, out)
         self.metrics.bump("batches_proposed")
+        if pp_span is not None:
+            pp_span.finish(self.cpu_time())
+            record.quorum_span = self.tracer.span(
+                "quorum", self.address, self.cpu_time(), parent=pp_span,
+                seqno=s, view=self.view, role="primary")
         self._after_local_pre_prepare(record)
 
     def _append_evidence(self, s: int) -> int:
@@ -888,7 +943,16 @@ class LPBFTReplicaCore(Node):
                 # Time spent queued between admission and execution — the
                 # congestion signal open-loop saturation sweeps read.
                 self.metrics.queue_delay.record(self.now - arrival)
+            exec_span = None
+            if self.tracer.enabled and tx_digest in self._trace_ctxs:
+                # Start at the activity frontier: the span length covers
+                # execute-lane wait plus the execution itself.
+                exec_span = self.tracer.span(
+                    "execute", self.address, self.cpu_time(),
+                    parent=self._trace_ctxs[tx_digest], seqno=s)
             output = self._execute_request(request)
+            if exec_span is not None:
+                exec_span.finish(self.cpu_time())
             if self.behavior is not None:
                 output = self.behavior.mutate_output(self, request, output)
             tio = (request.to_wire(), next_index, output)
@@ -988,7 +1052,10 @@ class LPBFTReplicaCore(Node):
     # -- backups: accepting pre-prepares (Alg. 1 line 15) ---------------------------------
 
     def handle_pre_prepare(self, src: str, msg: tuple) -> None:
-        self.pending_pps.append((msg[1], tuple(msg[2])))
+        # Third element: the message's trace context (None untraced) — the
+        # accept may run later, from another message's activity, so the
+        # causal parent is stashed with the pre-prepare.
+        self.pending_pps.append((msg[1], tuple(msg[2]), self._inbound_ctx))
         self._retry_pending_pps()
 
     def _retry_pending_pps(self) -> None:
@@ -1013,14 +1080,17 @@ class LPBFTReplicaCore(Node):
                     progress = True
                     continue
                 if pp.seqno == self.next_seqno and pp.view == self.view:
-                    done = self._try_accept_pre_prepare(pp, stashed[1])
+                    done = self._try_accept_pre_prepare(
+                        pp, stashed[1], stashed[2] if len(stashed) > 2 else None)
                     if done:
                         self.pending_pps.remove(stashed)
                         progress = True
                         break
         self._maybe_detect_lag()
 
-    def _try_accept_pre_prepare(self, pp: PrePrepare, batch_digests: tuple) -> bool:
+    def _try_accept_pre_prepare(
+        self, pp: PrePrepare, batch_digests: tuple, trace_ctx=None
+    ) -> bool:
         """Validate and execute the pre-prepare at the expected sequence
         number.  Returns True when the message is consumed (accepted or
         rejected for cause), False to keep it stashed."""
@@ -1097,7 +1167,7 @@ class LPBFTReplicaCore(Node):
             self.kv.execute(
                 lambda tx, c=adopted_span.config: install_configuration(tx, c)
             )
-        self._accept_pre_prepare(pp, batch_digests, evidence_pair)
+        self._accept_pre_prepare(pp, batch_digests, evidence_pair, trace_ctx)
         return True
 
     def _accept_pre_prepare(
@@ -1105,9 +1175,17 @@ class LPBFTReplicaCore(Node):
         pp: PrePrepare,
         batch_digests: tuple,
         evidence_pair: tuple[EvidenceEntry, NoncesEntry] | None,
+        trace_ctx=None,
     ) -> None:
         """Alg. 1 lines 17–26: execute, compare roots, prepare."""
         s = pp.seqno
+        accept_span = None
+        if self.tracer.enabled:
+            # Child of the primary's pre-prepare span (stashed with the
+            # message): the cross-node edge of the batch's causal chain.
+            accept_span = self.tracer.span(
+                "accept-pre-prepare", self.address, self.cpu_time(),
+                parent=trace_ctx, seqno=s, view=pp.view, role="backup")
         ledger_mark = len(self.ledger)
         kv_mark = self.kv.tx_count
         cp_mark = (self.last_recorded_cp, self.last_taken_cp)
@@ -1124,6 +1202,9 @@ class LPBFTReplicaCore(Node):
             # Line 22–23: divergent execution or a lying primary.
             self._undo_batch_execution(record, ledger_mark, kv_mark, cp_mark)
             self.metrics.bump("root_mismatches")
+            if accept_span is not None:
+                accept_span.set(root_mismatch=True)
+                accept_span.finish(self.cpu_time())
             self._suspect_primary()
             return
 
@@ -1140,6 +1221,11 @@ class LPBFTReplicaCore(Node):
                 if out is not None:
                     self.send(dst, out)
         self.metrics.bump("batches_accepted")
+        if accept_span is not None:
+            accept_span.finish(self.cpu_time())
+            record.quorum_span = self.tracer.span(
+                "quorum", self.address, self.cpu_time(), parent=accept_span,
+                seqno=s, view=pp.view, role="backup")
         self._after_local_pre_prepare(record)
         self._drain_pending_commits(pp.view, s)
 
@@ -1249,6 +1335,8 @@ class LPBFTReplicaCore(Node):
         record.prepared = True
         self.prepared_upto = seqno
         self.metrics.bump("batches_prepared")
+        if record.quorum_span is not None:
+            record.quorum_span.set(prepared_at=self.cpu_time())
         if self.is_member(seqno):
             nonce = self.own_nonces.get((view, seqno))
             if nonce is not None:
@@ -1279,7 +1367,11 @@ class LPBFTReplicaCore(Node):
         record.committed = True
         self.committed_upto = seqno
         self.metrics.bump("batches_committed")
+        self.metrics.bump("requests_committed", record.request_count())
         self.metrics.throughput.record_commit(self.cpu_time(), record.request_count())
+        if record.quorum_span is not None:
+            record.quorum_span.finish(self.cpu_time())
+            record.quorum_span = None
         self._reset_view_change_timer()
         nxt = self.batches.get(seqno + 1)
         if nxt is not None:
@@ -1499,11 +1591,17 @@ class LPBFTReplicaCore(Node):
         )
         if not (due_interval or due_activation):
             return
+        cp_start = self.cpu_time() if self.tracer.enabled else 0.0
         self.submit("hash", len(self.kv) * self.costs.checkpoint_per_entry)
         self.checkpoints[s] = Checkpoint.capture(self.kv, s, len(self.ledger), self.ledger.root())
         self._cp_taken_at[s] = self.now
         self.last_taken_cp = s
         self.metrics.bump("checkpoints_taken")
+        if self.tracer.enabled:
+            # Node-local root span: checkpoints are batch work, not tied
+            # to one request's trace.
+            self.tracer.span("checkpoint", self.address, cp_start,
+                             end=self.cpu_time(), seqno=s)
         self._garbage_collect(s)
         self._maybe_truncate_ledger()
 
@@ -1529,6 +1627,7 @@ class LPBFTReplicaCore(Node):
             for tx_digest in record.tx_digests:
                 if tx_digest is not None:
                     self.request_arrivals.pop(tx_digest, None)
+                    self._trace_ctxs.pop(tx_digest, None)
             key = (record.view, seqno)
             self.pps.pop(key, None)
             self.ppd_index.pop(record.pp_digest, None)

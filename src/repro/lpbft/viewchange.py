@@ -57,6 +57,7 @@ class ViewChangeMixin:
 
     def _init_view_change_state(self) -> None:
         self.view_changes: dict[int, dict[int, ViewChange]] = {}
+        self._vc_span = None  # open "view-change" Span while tracing
         self._vc_timer: int | None = None
         self._progress_mark = -1
         self._pending_new_view: int | None = None
@@ -155,6 +156,10 @@ class ViewChangeMixin:
     def _start_view_change(self, new_view: int) -> None:
         if new_view <= self.view or not self.is_member():
             return
+        if self.tracer.enabled and self._vc_span is None:
+            self._vc_span = self.tracer.span(
+                "view-change", self.address, self.now,
+                from_view=self.view, to_view=new_view)
         self.view = new_view
         self.ready = False
         vc = ViewChange(view=new_view, replica=self.id, prepared=self._last_prepared_pps())
@@ -232,6 +237,10 @@ class ViewChangeMixin:
         self._sent_new_view_for.add(view)
         self._pending_new_view = None
         self.metrics.bump("new_views_sent")
+        if self._vc_span is not None:
+            self._vc_span.set(new_view=view, primary=True)
+            self._vc_span.finish(self.now)
+            self._vc_span = None
         # Re-pre-prepare the prepared-but-uncommitted batches in the new
         # view, with identical composition (resendPreparesInNewView).
         for seqno, flags, digests in reissue:
@@ -391,6 +400,10 @@ class ViewChangeMixin:
         self.ready = True
         self._stashed_new_view = None
         self.metrics.bump("new_views_accepted")
+        if self._vc_span is not None:
+            self._vc_span.set(new_view=nv.view)
+            self._vc_span.finish(self.now)
+            self._vc_span = None
         self._retry_pending_pps()
 
     def _last_complete_batch(self) -> int:

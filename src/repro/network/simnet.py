@@ -33,6 +33,7 @@ import random
 from typing import Any, Callable
 
 from ..errors import NetworkError
+from ..obs.trace import NULL_TRACER
 from ..sim.cpu import VirtualCPU
 from ..sim.scheduler import EventScheduler
 from .latency import LatencyModel, constant_latency
@@ -63,6 +64,15 @@ class Node:
         self.cpu = VirtualCPU(cores, cpu_policies)
         self._frontier = 0.0
         self._processing = False
+        # Observability: tracer is the shared no-op singleton unless a
+        # deployment enables tracing; _inbound_ctx is the SpanContext the
+        # message being handled arrived with (network metadata, set by
+        # SimNetwork._deliver), _send_ctx the context outgoing messages
+        # carry.  _begin_activity copies inbound → send so replies and
+        # relays inherit the causal edge without per-handler plumbing.
+        self.tracer = NULL_TRACER
+        self._inbound_ctx = None
+        self._send_ctx = None
 
     # -- to be overridden ---------------------------------------------------
 
@@ -87,9 +97,11 @@ class Node:
         so activities touching free lanes proceed immediately."""
         self._processing = True
         self._frontier = self.now
+        self._send_ctx = self._inbound_ctx
 
     def _end_activity(self) -> None:
         self._processing = False
+        self._send_ctx = None
 
     def _base_time(self) -> float:
         # Inside an activity, work chains off the activity's frontier.
@@ -365,6 +377,9 @@ class SimNetwork:
         self.bytes_sent += size
         src_node = self._nodes.get(src)
         dst_node = self._nodes[dst]
+        # Trace context rides as network-layer metadata (never in the wire
+        # tuple); _send_ctx is always None while tracing is disabled.
+        ctx = src_node._send_ctx if src_node is not None else None
         # Departure: when the sender's CPU finishes its current work,
         # including the cost the running handler has charged so far.
         depart = max(self.scheduler.now, src_node.cpu_time() if src_node else self.scheduler.now)
@@ -377,7 +392,7 @@ class SimNetwork:
                 if jitter > 0:
                     self.messages_reordered += 1
                     delay += jitter
-        self.scheduler.at(depart + delay, lambda: self._deliver(src, dst_node, msg))
+        self.scheduler.at(depart + delay, lambda: self._deliver(src, dst_node, msg, ctx))
         for dup in self._duplicate_rules:
             if dup["rule"] is not None and not dup["rule"](src, dst, msg):
                 continue
@@ -393,18 +408,20 @@ class SimNetwork:
                 self.messages_sent += 1
                 self.bytes_sent += size
                 self.scheduler.at(
-                    depart + delay + extra, lambda: self._deliver(src, dst_node, msg)
+                    depart + delay + extra, lambda: self._deliver(src, dst_node, msg, ctx)
                 )
 
-    def _deliver(self, src: str, node: Node, msg: Any) -> None:
+    def _deliver(self, src: str, node: Node, msg: Any, ctx=None) -> None:
         # CPU model: the handler runs as an activity — each typed work
         # item it submits queues behind the lane its kind maps to, and the
         # activity's frontier (max completion so far) gates its sends.
+        node._inbound_ctx = ctx
         node._begin_activity()
         try:
             node.on_message(src, msg)
         finally:
             node._end_activity()
+            node._inbound_ctx = None
 
     # -- running ----------------------------------------------------------------------
 

@@ -1,0 +1,56 @@
+"""Observability layer: span tracing, typed metrics, sampling, export.
+
+Everything in this package runs off the *simulation* clock — traces and
+time series are fully deterministic for a given seed, and tracing is off
+by default with a guarded no-op fast path (:data:`NULL_TRACER`) so the
+hot path pays at most an attribute read when disabled.
+
+Modules
+-------
+``instruments``
+    Prometheus-style typed instruments (:class:`Counter`, :class:`Gauge`,
+    :class:`Histogram`) with label support, grouped in a
+    :class:`MetricsRegistry`.
+``trace``
+    Dapper-style span tracing (:class:`Tracer`, :class:`Span`,
+    :class:`SpanContext`); contexts propagate through ``SimNetwork``
+    message metadata, never through wire formats.
+``sampler``
+    Scheduler-driven :class:`PeriodicSampler` emitting per-replica time
+    series (goodput, lane busy-fraction, stash depth, ledger residency,
+    shed/retry rates) as JSONL rows.
+``export``
+    Chrome/Perfetto trace-event JSON export and per-stage latency
+    breakdowns; ``python -m repro.obs summarize`` is the CLI front end.
+"""
+
+from .instruments import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import NULL_TRACER, NullTracer, Span, SpanContext, Tracer
+from .sampler import PeriodicSampler
+from .export import (
+    perfetto_trace,
+    write_perfetto,
+    stage_breakdown,
+    request_stages,
+    spans_from_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "PeriodicSampler",
+    "perfetto_trace",
+    "write_perfetto",
+    "stage_breakdown",
+    "request_stages",
+    "spans_from_trace",
+    "write_jsonl",
+]

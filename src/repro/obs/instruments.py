@@ -1,0 +1,162 @@
+"""Typed metric instruments with label support (Prometheus-style).
+
+Three instrument kinds cover everything the simulator records:
+
+:class:`Counter`
+    Monotonically increasing totals (requests shed, batches proposed).
+    Labels split a counter into series — ``shed.inc(reason="deadline")``
+    and ``shed.inc(reason="overloaded")`` share a name but count apart;
+    ``shed.value()`` is the sum across series.
+:class:`Gauge`
+    A value that goes up and down (stash depth, resident ledger entries).
+:class:`Histogram`
+    Sample distributions with nearest-rank percentiles (latency, queue
+    delay).  Extends :class:`~repro.sim.metrics.LatencyStats`, so every
+    call site that took a ``LatencyStats`` works unchanged.
+
+A :class:`MetricsRegistry` is a namespace of instruments with
+get-or-create semantics: components ask for ``registry.counter("x")``
+and always get the same object, so cross-module accounting needs no
+plumbing.  ``collect()`` dumps the whole registry as plain dicts for
+serialization.
+
+Labels are keyword-only and stored as sorted ``(key, value)`` tuples, so
+series identity is deterministic regardless of call-site keyword order.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..sim.metrics import LatencyStats
+
+
+def _series_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items())) if labels else ()
+
+
+class Counter:
+    """A monotonically increasing counter, optionally split by labels."""
+
+    __slots__ = ("name", "help", "_series")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise SimulationError(f"counter {self.name} cannot decrease ({amount})")
+        key = _series_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        """The total for one label set, or the sum across all series when
+        called without labels (the pre-registry ``counters[name]`` view)."""
+        if labels:
+            return self._series.get(_series_key(labels), 0)
+        return sum(self._series.values()) if self._series else 0
+
+    def series(self) -> dict:
+        """``{"k=v,k2=v2": value}`` per label set ("" for the bare series)."""
+        return {
+            ",".join(f"{k}={v}" for k, v in key): value
+            for key, value in sorted(self._series.items())
+        }
+
+
+class Gauge:
+    """A value that can go up and down, optionally split by labels."""
+
+    __slots__ = ("name", "help", "_series")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._series[_series_key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = _series_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._series.get(_series_key(labels), 0)
+
+    def series(self) -> dict:
+        return {
+            ",".join(f"{k}={v}" for k, v in key): value
+            for key, value in sorted(self._series.items())
+        }
+
+
+class Histogram(LatencyStats):
+    """A sample distribution: ``LatencyStats`` plus a name and a
+    registry-friendly ``observe`` alias/summary dump."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__()
+        self.name = name
+        self.help = help
+
+    observe = LatencyStats.record
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.p50(),
+            "p90": self.p90(),
+            "p99": self.p99(),
+            "p999": self.p999(),
+            "max": self.max(),
+        }
+
+
+class MetricsRegistry:
+    """A namespace of instruments with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, cls, name: str, help: str):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, help)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise SimulationError(
+                f"instrument {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(Histogram, name, help)
+
+    def instruments(self) -> dict:
+        """Name → instrument, in registration order."""
+        return dict(self._instruments)
+
+    def collect(self) -> dict:
+        """Dump every instrument as plain dicts (JSON-serializable)."""
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, inst in self._instruments.items():
+            if isinstance(inst, Counter):
+                out["counters"][name] = inst.series()
+            elif isinstance(inst, Gauge):
+                out["gauges"][name] = inst.series()
+            elif isinstance(inst, Histogram):
+                out["histograms"][name] = inst.snapshot()
+        return out

@@ -1,0 +1,165 @@
+"""Dapper-style span tracing over the simulation clock.
+
+A :class:`Span` is a named interval ``[start, end)`` in *simulated*
+seconds attributed to one node, with a causal parent edge.  Spans from
+one client request share a ``trace_id``; the root span is the request
+itself (client submit → receipt completion) and children cover the
+stages it passes through (admission, verify, execute, quorum, ...).
+Node-local activities that are not tied to a single request (state
+sync, view changes, checkpoints) open root spans of their own.
+
+Trace context never rides inside wire formats — messages stay plain
+tuples.  ``SimNetwork.transmit`` snapshots the sender's current context
+(``Node._send_ctx``) as network-layer metadata and installs it as
+``Node._inbound_ctx`` on the receiver for the duration of the handler,
+so a handler that opens a span under ``self._inbound_ctx`` gets the
+causal edge for free, and anything it *sends* inherits the context
+automatically (``_begin_activity`` copies inbound → send).
+
+Determinism: span/trace ids come from per-tracer monotonic counters and
+all timestamps come from the sim clock, so the same seed produces a
+byte-identical export.  The disabled path is :data:`NULL_TRACER`, a
+shared singleton whose methods return ``None`` without allocating —
+instrumentation sites guard on ``tracer.enabled`` before building
+attribute dicts.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class SpanContext(NamedTuple):
+    """The (trace, span) identity that propagates across messages."""
+
+    trace_id: int
+    span_id: int
+
+
+class Span:
+    """One named, node-attributed interval with a causal parent edge.
+
+    ``end`` is ``None`` while the span is open; :meth:`finish` closes it.
+    ``attrs`` holds small JSON-serializable annotations (seqno, reason,
+    digest prefixes) used by the exporters and the summarize CLI.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "node",
+                 "start", "end", "attrs")
+
+    def __init__(self, trace_id: int, span_id: int, parent_id: int | None,
+                 name: str, node: str, start: float,
+                 attrs: dict | None = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.node = node
+        self.start = start
+        self.end: float | None = None
+        self.attrs = attrs
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def finish(self, end: float) -> None:
+        self.end = end
+
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def set(self, **attrs) -> None:
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs.update(attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, node={self.node!r}, "
+                f"[{self.start:.6f}, {self.end}], "
+                f"trace={self.trace_id}, span={self.span_id}, "
+                f"parent={self.parent_id})")
+
+
+class NullTracer:
+    """The disabled fast path: every method is a no-op returning ``None``.
+
+    ``enabled`` is ``False`` so instrumentation can skip attribute-dict
+    construction entirely; calling through anyway is still allocation-free.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def root_span(self, name, node, start, **attrs):
+        return None
+
+    def span(self, name, node, start, parent=None, end=None, **attrs):
+        return None
+
+    def annotate(self, name, node, at, **attrs):
+        return None
+
+
+#: Shared singleton installed on every node by default.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects spans and instant annotations for one deployment run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.annotations: list[dict] = []
+        self._next_trace = 1
+        self._next_span = 1
+
+    # -- span construction ----------------------------------------------------
+
+    def root_span(self, name: str, node: str, start: float, **attrs) -> Span:
+        """Open a span that starts a fresh trace."""
+        trace_id = self._next_trace
+        self._next_trace += 1
+        return self._open(trace_id, None, name, node, start, attrs)
+
+    def span(self, name: str, node: str, start: float,
+             parent: SpanContext | Span | None = None,
+             end: float | None = None, **attrs) -> Span:
+        """Open a child span under ``parent`` (or a fresh trace when the
+        parent is unknown — e.g. an untraced request in a traced batch).
+        Pass ``end`` to open-and-close in one call."""
+        if parent is None:
+            span = self.root_span(name, node, start, **attrs)
+        else:
+            if isinstance(parent, Span):
+                parent = parent.context
+            span = self._open(parent.trace_id, parent.span_id, name, node,
+                              start, attrs)
+        if end is not None:
+            span.end = end
+        return span
+
+    def _open(self, trace_id, parent_id, name, node, start, attrs) -> Span:
+        span = Span(trace_id, self._next_span, parent_id, name, node, start,
+                    attrs or None)
+        self._next_span += 1
+        self.spans.append(span)
+        return span
+
+    def annotate(self, name: str, node: str, at: float, **attrs) -> None:
+        """Record an instant event (a shed decision, a chaos fault)."""
+        self.annotations.append(
+            {"name": name, "node": node, "at": at, "attrs": attrs})
+
+    # -- queries (used by exporters/tests) ------------------------------------
+
+    def finished_spans(self) -> list[Span]:
+        return [s for s in self.spans if s.end is not None]
+
+    def by_trace(self) -> dict[int, list[Span]]:
+        out: dict[int, list[Span]] = {}
+        for span in self.spans:
+            out.setdefault(span.trace_id, []).append(span)
+        return out

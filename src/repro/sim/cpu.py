@@ -33,6 +33,8 @@ knows nothing about the event loop.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 from ..errors import SimulationError
 
 #: Policy marker: place items on the earliest-available lane.
@@ -76,6 +78,13 @@ class VirtualCPU:
         self._busy_by_kind: dict[str, float] = {}
         self.items_scheduled = 0
         self.trace: list[tuple[str, int, float, float]] | None = None
+        # Windowed-utilization tracking (enable_utilization_tracking):
+        # per-lane sorted segment starts and inclusive cumulative busy
+        # seconds through each segment.  Within one lane segments never
+        # overlap and starts are non-decreasing (start >= previous end),
+        # so busy-in-window queries are a bisect plus one partial term.
+        self._win_starts: list[list[float]] | None = None
+        self._win_cum: list[list[float]] | None = None
 
     # -- scheduling -----------------------------------------------------------
 
@@ -99,6 +108,10 @@ class VirtualCPU:
         self.items_scheduled += 1
         if self.trace is not None:
             self.trace.append((kind, lane, start, end))
+        if self._win_starts is not None:
+            cum = self._win_cum[lane]
+            self._win_starts[lane].append(start)
+            cum.append((cum[-1] if cum else 0.0) + seconds)
         return end
 
     def submit_many(self, kind: str, costs, not_before: float) -> float:
@@ -157,3 +170,59 @@ class VirtualCPU:
         if elapsed <= 0:
             return [0.0] * self.cores
         return [b / elapsed for b in self.busy_between(start, end)]
+
+    # -- windowed utilization (self-serve, no trace required) -----------------
+
+    def enable_utilization_tracking(self) -> None:
+        """Record per-lane busy segments so :meth:`utilization_window`
+        works without a full item trace.  Enable *before* the window of
+        interest opens (items scheduled earlier are not counted); costs
+        one appended float pair per scheduled item, nothing when off."""
+        if self._win_starts is None:
+            self._win_starts = [[] for _ in range(self.cores)]
+            self._win_cum = [[] for _ in range(self.cores)]
+
+    @property
+    def utilization_tracking(self) -> bool:
+        return self._win_starts is not None
+
+    def busy_up_to(self, t: float) -> list[float]:
+        """Cumulative busy seconds per lane in ``[0, t)`` — a pure query
+        (call with any ``t``, in any order).  Requires
+        :meth:`enable_utilization_tracking`."""
+        if self._win_starts is None:
+            raise SimulationError(
+                "busy_up_to requires enable_utilization_tracking()")
+        out = []
+        for lane in range(self.cores):
+            starts = self._win_starts[lane]
+            cum = self._win_cum[lane]
+            idx = bisect_right(starts, t) - 1  # last segment starting < t
+            if idx < 0:
+                out.append(0.0)
+                continue
+            # All segments before idx finished at or before starts[idx]
+            # (non-overlapping, ordered), so they count fully; the idx
+            # segment may straddle t.
+            seg_busy = cum[idx] - (cum[idx - 1] if idx else 0.0)
+            seg_end = starts[idx] + seg_busy
+            out.append(cum[idx] - max(0.0, seg_end - t))
+        return out
+
+    def busy_window(self, start: float, end: float) -> list[float]:
+        """Exact busy seconds per lane within ``[start, end)`` from the
+        windowed-utilization segments (no trace needed)."""
+        if end < start:
+            raise SimulationError(f"bad window [{start}, {end})")
+        lo = self.busy_up_to(start)
+        hi = self.busy_up_to(end)
+        return [h - l for h, l in zip(hi, lo)]
+
+    def utilization_window(self, start: float, end: float) -> list[float]:
+        """Per-lane busy fraction within ``[start, end)`` — the
+        self-serve replacement for the bench harness's trace-based
+        computation."""
+        elapsed = end - start
+        if elapsed <= 0:
+            return [0.0] * self.cores
+        return [b / elapsed for b in self.busy_window(start, end)]

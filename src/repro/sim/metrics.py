@@ -8,12 +8,20 @@ load (submissions at the clients), *goodput* (completed receipts), the
 *queue delay* requests accumulate between admission and execution at the
 replica, and per-lane CPU utilization — the signals a Fig. 4-style
 saturation sweep reads past the knee.
+
+Since PR 7 the ad-hoc ``counters`` dict is backed by a typed
+:class:`~repro.obs.instruments.MetricsRegistry`: ``bump`` routes to
+labeled :class:`~repro.obs.instruments.Counter` instruments (e.g.
+``bump("requests_shed", reason="deadline")``), while the ``counters``
+property and :meth:`MetricsCollector.summary` keep the exact pre-registry
+shape so every existing consumer — benches, tests, chaos oracles — reads
+the same keys.  :meth:`MetricsCollector.snapshot` exposes the full
+labeled registry dump.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 
 
 class LatencyStats:
@@ -61,6 +69,11 @@ class LatencyStats:
     def p99(self) -> float:
         return self.percentile(99)
 
+    def p999(self) -> float:
+        """The 99.9th percentile — the tail SLO reporting reads.  With
+        fewer than 1000 samples nearest-rank degenerates to the max."""
+        return self.percentile(99.9)
+
     def max(self) -> float:
         return max(self._samples) if self._samples else 0.0
 
@@ -100,7 +113,6 @@ class ThroughputMeter:
         return self._committed / elapsed if elapsed > 0 else 0.0
 
 
-@dataclass
 class MetricsCollector:
     """Bundle of the stats a deployment run produces.
 
@@ -108,30 +120,60 @@ class MetricsCollector:
     ``queue_delay``, and ``admitted`` (requests the admission point let
     in) at replicas, ``offered`` at load generators — so an overload
     sweep reports offered vs. admitted vs. goodput separately.
-    ``lane_utilization`` is a per-lane busy-fraction snapshot installed by
-    the bench harness (see :meth:`record_lane_utilization`).  Counters
-    may be fractional: overload accounting records *wasted* busy time
-    (e.g. ``wasted_verify_s``, CPU spent verifying requests that were
-    shed afterwards) in seconds.
+    ``lane_utilization`` is a per-lane busy-fraction snapshot (see
+    :meth:`record_lane_utilization`; since PR 7 ``VirtualCPU`` computes
+    it directly via ``utilization_window``).  Counters may be fractional:
+    overload accounting records *wasted* busy time (e.g.
+    ``wasted_verify_s``, CPU spent verifying requests that were shed
+    afterwards) in seconds.
     """
 
-    latency: LatencyStats = field(default_factory=LatencyStats)
-    queue_delay: LatencyStats = field(default_factory=LatencyStats)
-    throughput: ThroughputMeter = field(default_factory=ThroughputMeter)
-    offered: ThroughputMeter = field(default_factory=ThroughputMeter)
-    admitted: ThroughputMeter = field(default_factory=ThroughputMeter)
-    goodput: ThroughputMeter = field(default_factory=ThroughputMeter)
-    counters: dict = field(default_factory=dict)
-    lane_utilization: list[float] | None = None
+    def __init__(self, registry=None) -> None:
+        # Imported here, not at module top: obs.instruments subclasses
+        # LatencyStats from this module.
+        from ..obs.instruments import MetricsRegistry
 
-    def bump(self, name: str, amount: int = 1) -> None:
-        """Increment a named counter (signatures verified, batches, ...)."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.latency: LatencyStats = self.registry.histogram(
+            "latency_s", "client-observed request latency")
+        self.queue_delay: LatencyStats = self.registry.histogram(
+            "queue_delay_s", "admission → execution delay at the replica")
+        self.throughput = ThroughputMeter()
+        self.offered = ThroughputMeter()
+        self.admitted = ThroughputMeter()
+        self.goodput = ThroughputMeter()
+        self.lane_utilization: list[float] | None = None
+
+    def bump(self, name: str, amount: float = 1, **labels) -> None:
+        """Increment a named counter (signatures verified, batches, ...).
+        Keyword labels split the counter into series (``reason="deadline"``)
+        while the unlabeled total — what ``counters[name]`` reports —
+        stays the sum across series."""
+        self.registry.counter(name).inc(amount, **labels)
+
+    def counter_value(self, name: str, **labels) -> float:
+        """One counter's total (or one labeled series' value)."""
+        return self.registry.counter(name).value(**labels)
+
+    @property
+    def counters(self) -> dict:
+        """Name → total across label series (the pre-registry view)."""
+        from ..obs.instruments import Counter
+
+        return {
+            name: inst.value()
+            for name, inst in self.registry.instruments().items()
+            if isinstance(inst, Counter)
+        }
 
     def record_lane_utilization(self, fractions: list[float]) -> None:
         """Install a per-lane busy-fraction snapshot (one entry per CPU
         lane, measured over the benchmark window)."""
         self.lane_utilization = list(fractions)
+        gauge = self.registry.gauge(
+            "lane_busy_fraction", "per-lane busy fraction over the window")
+        for lane, fraction in enumerate(fractions):
+            gauge.set(fraction, lane=lane)
 
     def summary(self) -> dict:
         """A plain-dict summary for printing/serialization."""
@@ -142,6 +184,7 @@ class MetricsCollector:
             "latency_p50_ms": self.latency.p50() * 1e3,
             "latency_p90_ms": self.latency.p90() * 1e3,
             "latency_p99_ms": self.latency.p99() * 1e3,
+            "latency_p999_ms": self.latency.p999() * 1e3,
             "counters": dict(self.counters),
         }
         if self.queue_delay.count:
@@ -156,4 +199,11 @@ class MetricsCollector:
             out["goodput_tx_s"] = self.goodput.throughput()
         if self.lane_utilization is not None:
             out["lane_utilization"] = list(self.lane_utilization)
+        return out
+
+    def snapshot(self) -> dict:
+        """The full labeled registry dump plus the summary fields —
+        everything the collector knows, JSON-serializable."""
+        out = self.registry.collect()
+        out["summary"] = self.summary()
         return out

@@ -46,11 +46,15 @@ class StateSyncMixin:
         self.syncing = False
         self.sync_client = StateSyncClient(self)
         self.sync_server = StateSyncServer(self)
+        self._sync_span = None  # open "state-sync" Span while tracing
 
     # -- entry points ---------------------------------------------------------
 
     def start_state_sync(self, reason: str = "manual") -> None:
         """Suspend normal operation and catch up from a peer."""
+        if self.tracer.enabled and self._sync_span is None:
+            self._sync_span = self.tracer.span(
+                "state-sync", self.address, self.now, reason=reason)
         self.sync_client.start(reason)
 
     def _request_state_sync(self, source_address: str | None = None, reason: str = "recovery") -> None:
@@ -99,6 +103,10 @@ class StateSyncMixin:
         """Resume normal operation after a (possibly no-op) install.
         The install itself already adopted the server's view wholesale;
         here we only lift the suspension and restart the machinery."""
+        if self._sync_span is not None:
+            self._sync_span.set(committed_upto=self.committed_upto)
+            self._sync_span.finish(self.now)
+            self._sync_span = None
         self.syncing = False
         self.ready = True
         self._progress_mark = self.committed_upto
@@ -125,6 +133,13 @@ class StateSyncMixin:
         self.request_order = []
         self.request_sources = {}
         self.request_arrivals = {}
+        self._trace_ctxs = {}
+        for attr in ("_sync_span", "_vc_span"):
+            span = getattr(self, attr, None)
+            if span is not None:
+                span.set(aborted=True)
+                span.finish(self.now)
+                setattr(self, attr, None)
         self._verified_requests = set()
         self.pending_pps = []
         self.pending_commits = {}
