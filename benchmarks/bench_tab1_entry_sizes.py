@@ -11,8 +11,10 @@ and nonce entries (evidence ≈ 3× from f=1 to f=3; nonces 2×).
 
 from repro.ledger import EvidenceEntry, NoncesEntry, PrePrepareEntry, TxEntry
 from repro.lpbft import bitmap_of
-from repro.lpbft.messages import Prepare, PrePrepare, TransactionRequest
+from repro.lpbft.messages import Prepare, PrePrepare, Reply, ReplyX, TransactionRequest
 from repro.crypto import generate_keypair, default_backend, new_nonce
+from repro.crypto.signatures import SIGNATURE_SIZE
+from repro.receipts import assemble_receipt
 from repro.workloads import SmallBankWorkload
 
 
@@ -64,8 +66,68 @@ def entry_sizes(f: int) -> dict:
     }
 
 
+class _Quorum:
+    """Just enough of a Configuration for :func:`assemble_receipt`."""
+
+    def __init__(self, n: int, f: int) -> None:
+        self.quorum = n - f
+        self.f = f
+
+    def primary_for_view(self, view: int) -> int:
+        return 0
+
+
+def receipt_sizes(f: int) -> dict:
+    """PR 9 Tab. 1 refresh: client-receipt wire size with the f+1 share
+    set carried individually vs collapsed to one aggregate signature.
+    Both receipts cover the same synthetic transaction and Merkle path
+    (7 steps, a ~100-tx batch), so the delta is purely the share set."""
+    from repro.merkle.proofs import MerklePath, PathStep
+
+    backend = default_backend()
+    n = 3 * f + 1
+    keys = [generate_keypair(b"rcpt%d" % i) for i in range(n)]
+    replies = {
+        i: Reply(view=0, seqno=9, replica=i,
+                 signature=backend.sign(keys[i], b"share-%d" % i),
+                 nonce=new_nonce(bytes([i])).nonce)
+        for i in range(n - f)
+    }
+    path = MerklePath(
+        leaf_index=42, tree_size=100,
+        steps=tuple(PathStep(bytes([s]) * 32, bool(s % 2)) for s in range(7)),
+    )
+    replyx = ReplyX(
+        view=0, seqno=9, root_m=b"\x01" * 32,
+        primary_nonce_commitment=b"\x03" * 32,
+        evidence_bitmap=bitmap_of(range(n - f)), gov_index=0,
+        checkpoint_digest=b"\x04" * 32, flags=0,
+        committed_root=b"\x05" * 32, tx_digest=b"\x06" * 32,
+        index=10, output={"ok": True, "balance": 1234},
+        path=path.to_wire(),
+    )
+    wl = SmallBankWorkload(n_accounts=500_000, seed=1)
+    proc, args = wl.next_transaction()
+    req = TransactionRequest(
+        procedure=proc, args=args, client=keys[0].public_key,
+        service=b"\x01" * 32, min_index=0, nonce=1,
+    )
+    request_wire = req.with_signature(
+        backend.sign(keys[0], req.signed_payload())
+    ).to_wire()
+    config = _Quorum(n, f)
+    plain = assemble_receipt(request_wire, replies, replyx, config,
+                             backend=backend, aggregate=False)
+    agg = assemble_receipt(request_wire, replies, replyx, config,
+                           backend=backend, aggregate=True)
+    return {
+        "receipt_plain": plain.encoded_size(),
+        "receipt_aggregated": agg.encoded_size(),
+    }
+
+
 def test_tab1_entry_sizes(once):
-    rows = once(lambda: {f: entry_sizes(f) for f in (1, 3)})
+    rows = once(lambda: {f: {**entry_sizes(f), **receipt_sizes(f)} for f in (1, 3)})
     print("\n== Tab. 1: ledger entry sizes (bytes) ==")
     print(f"{'entry':<22}{'f=1':>10}{'f=3':>10}   paper f=1 / f=3")
     r1, r3 = rows[1], rows[3]
@@ -73,9 +135,18 @@ def test_tab1_entry_sizes(once):
     print(f"{'pre-prepare':<22}{r1['pre_prepare']:>10}{r3['pre_prepare']:>10}   277")
     print(f"{'prepare evidence':<22}{r1['evidence']:>10}{r3['evidence']:>10}   298 / 894")
     print(f"{'nonces (payload)':<22}{r1['nonces_payload']:>10}{r3['nonces_payload']:>10}   (paper counts 32/64 per batch-half)")
+    print(f"{'receipt (plain)':<22}{r1['receipt_plain']:>10}{r3['receipt_plain']:>10}   (f prepare shares carried)")
+    print(f"{'receipt (aggregated)':<22}{r1['receipt_aggregated']:>10}{r3['receipt_aggregated']:>10}   (one aggregate, PR 9)")
 
     # Shape assertions: f-scaling matches the paper.
     assert 2.5 < rows[3]["evidence"] / rows[1]["evidence"] < 3.5  # 894/298 ≈ 3
     assert rows[3]["nonces_payload"] == 3 * rows[1]["nonces_payload"] - 32 * 0 or True
     assert rows[1]["tx_min"] < rows[1]["tx_max"]
     assert rows[1]["pre_prepare"] < rows[1]["evidence"] * 2
+    # Aggregation removes the f individual prepare-signature strings; the
+    # saving grows with f while the aggregated size stays ~flat.
+    for f in (1, 3):
+        saving = rows[f]["receipt_plain"] - rows[f]["receipt_aggregated"]
+        assert saving >= (f - 1) * SIGNATURE_SIZE
+    assert (rows[3]["receipt_plain"] - rows[3]["receipt_aggregated"]
+            > rows[1]["receipt_plain"] - rows[1]["receipt_aggregated"])

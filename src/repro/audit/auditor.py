@@ -122,7 +122,7 @@ class Auditor:
         for chain in chains:
             try:
                 schedules.append(
-                    verify_chain(chain, self.params.pipeline, self.backend, cache=self.verify_cache)
+                    verify_chain(chain, self.params.effective_pipeline(), self.backend, cache=self.verify_cache)
                 )
             except ReceiptError as exc:
                 raise AuditError(f"invalid supporting governance chain: {exc}") from exc
@@ -150,7 +150,7 @@ class Auditor:
                         )
                     )
         best = longest_chain(chains) if not result.upoms else chains[0]
-        return verify_chain(best, self.params.pipeline, self.backend, cache=self.verify_cache)
+        return verify_chain(best, self.params.effective_pipeline(), self.backend, cache=self.verify_cache)
 
     # -- step 2: receipt validity (Alg. 4 ``auditReceipts``) ----------------------------------
 
@@ -261,7 +261,7 @@ class Auditor:
         # Structure and signatures (§B.1 well-formedness).
         try:
             issues = check_well_formed(
-                package.fragment, ledger_schedule, self.params.pipeline, self.backend
+                package.fragment, ledger_schedule, self.params.effective_pipeline(), self.backend
             )
         except WellFormednessError as exc:
             issues = None
@@ -317,7 +317,7 @@ class Auditor:
                 package.checkpoint,
                 self.registry,
                 ledger_schedule,
-                self.params.pipeline,
+                self.params.effective_pipeline(),
                 self.params.checkpoint_interval,
                 evidence_by_seqno=parsed.evidence_for,
             )

@@ -131,7 +131,7 @@ def build_ledger_package(replica, oldest_receipt: Receipt | None = None) -> Ledg
         checkpoint = replica.checkpoints[max(replica.checkpoints)]
     extra: dict = {}
     last = replica.ledger.last_seqno()
-    for seqno in range(max(1, last - replica.params.pipeline + 1), last + 1):
+    for seqno in range(max(1, last - replica.params.effective_pipeline() + 1), last + 1):
         built = replica._build_evidence(seqno)
         if built is not None:
             extra[seqno] = (built[0].to_wire(), built[1].to_wire())

@@ -44,6 +44,33 @@ SIGNATURE_SIZE = 64
 
 
 @dataclass(frozen=True)
+class AggregateSignature:
+    """A constant-size aggregate over a set of per-message signatures.
+
+    Models a BLS-style multi-message aggregate: ``n_shares`` individual
+    signatures collapse to one ``SIGNATURE_SIZE``-byte value, verified in
+    a single pairing-cost operation against the ``(public_key, message)``
+    pairs it covers.  The signer *set* is carried alongside the aggregate
+    (receipts keep their ``signer_bitmap``), so misbehaviour proofs can
+    still name the signers; identifying *which* share is bad requires
+    falling back to the individual signatures.
+    """
+
+    value: bytes
+    n_shares: int
+
+    def to_wire(self) -> tuple:
+        return ("aggsig", self.value, self.n_shares)
+
+    @staticmethod
+    def from_wire(raw: tuple) -> "AggregateSignature":
+        tag, value, n_shares = raw
+        if tag != "aggsig":
+            raise CryptoError(f"expected aggsig, got {tag!r}")
+        return AggregateSignature(value=value, n_shares=n_shares)
+
+
+@dataclass(frozen=True)
 class KeyPair:
     """A signing key pair.
 
@@ -63,6 +90,7 @@ class SignatureBackend(Protocol):
     """Interface implemented by signature backends."""
 
     name: str
+    supports_aggregation: bool
 
     def generate(self, seed: bytes | None = None) -> KeyPair:
         """Create a key pair (deterministically if ``seed`` is given)."""
@@ -74,11 +102,24 @@ class SignatureBackend(Protocol):
         """Check a signature.  Returns ``False`` for invalid signatures and
         raises :class:`CryptoError` only on malformed inputs."""
 
+    def aggregate(self, sigs: Sequence[bytes]) -> AggregateSignature:
+        """Collapse individual signatures into one aggregate.  Raises
+        :class:`CryptoError` if the backend does not support aggregation
+        (check ``supports_aggregation`` first)."""
+
+    def verify_aggregate(
+        self, pairs: Sequence[tuple[bytes, bytes]], aggregate: AggregateSignature
+    ) -> bool:
+        """Check an aggregate against ``(public_key, message)`` pairs, in
+        share order.  One operation regardless of how many shares the
+        aggregate covers (BLS pairing-style)."""
+
 
 class HashSigBackend:
     """Deterministic simulated signatures (see module docstring)."""
 
     name = "hashsig"
+    supports_aggregation = True
 
     def __init__(self) -> None:
         self._registry: dict[bytes, bytes] = {}
@@ -113,11 +154,56 @@ class HashSigBackend:
         pad = hmac.new(secret, b"pad" + message, hashlib.sha256).digest()
         return hmac.compare_digest(signature, mac + pad)
 
+    def aggregate(self, sigs: Sequence[bytes]) -> AggregateSignature:
+        """Simulated aggregation: the XOR fold of the individual
+        signatures.  Constant ``SIGNATURE_SIZE`` output like a BLS point;
+        commutative group-add semantics, so aggregation order does not
+        matter but every covered share must be present and genuine for
+        :meth:`verify_aggregate` to accept."""
+        if not sigs:
+            raise CryptoError("cannot aggregate an empty signature set")
+        acc = bytearray(SIGNATURE_SIZE)
+        for sig in sigs:
+            if len(sig) != SIGNATURE_SIZE:
+                raise CryptoError(f"bad signature length {len(sig)} in aggregate")
+            for i, b in enumerate(sig):
+                acc[i] ^= b
+        return AggregateSignature(value=bytes(acc), n_shares=len(sigs))
+
+    def verify_aggregate(
+        self, pairs: Sequence[tuple[bytes, bytes]], aggregate: AggregateSignature
+    ) -> bool:
+        """Recompute each covered share from the verification registry and
+        compare the fold.  (A real BLS backend pairs each ``(pk, m)``
+        against the aggregate point; the cost model charges that single
+        pairing-style op regardless of the share count.)"""
+        if len(pairs) != aggregate.n_shares:
+            return False
+        if len(aggregate.value) != SIGNATURE_SIZE:
+            return False
+        acc = bytearray(SIGNATURE_SIZE)
+        for public_key, message in pairs:
+            if len(public_key) != PUBLIC_KEY_SIZE:
+                raise CryptoError(f"bad public key length {len(public_key)}")
+            secret = self._registry.get(public_key)
+            if secret is None:
+                return False
+            mac = hmac.new(secret, message, hashlib.sha256).digest()
+            pad = hmac.new(secret, b"pad" + message, hashlib.sha256).digest()
+            for i, b in enumerate(mac + pad):
+                acc[i] ^= b
+        return hmac.compare_digest(bytes(acc), aggregate.value)
+
 
 class Ed25519Backend:
-    """Real Ed25519 signatures via the ``cryptography`` package."""
+    """Real Ed25519 signatures via the ``cryptography`` package.
+
+    Ed25519 has no signature aggregation; deployments on this backend
+    keep the individual f+1 signature shares on their receipts
+    (``supports_aggregation`` gates the optimization off)."""
 
     name = "ed25519"
+    supports_aggregation = False
 
     def __init__(self) -> None:
         try:
@@ -155,6 +241,14 @@ class Ed25519Backend:
             return True
         except Exception:
             return False
+
+    def aggregate(self, sigs: Sequence[bytes]) -> AggregateSignature:
+        raise CryptoError("ed25519 does not support signature aggregation")
+
+    def verify_aggregate(
+        self, pairs: Sequence[tuple[bytes, bytes]], aggregate: AggregateSignature
+    ) -> bool:
+        raise CryptoError("ed25519 does not support signature aggregation")
 
 
 @dataclass
@@ -309,3 +403,19 @@ def verify(
 ) -> bool:
     """Verify a signature against ``public_key``."""
     return (backend or _DEFAULT).verify(public_key, message, signature)
+
+
+def aggregate(
+    sigs: Sequence[bytes], backend: SignatureBackend | None = None
+) -> AggregateSignature:
+    """Aggregate signatures on the given (or default) backend."""
+    return (backend or _DEFAULT).aggregate(sigs)
+
+
+def verify_aggregate(
+    pairs: Sequence[tuple[bytes, bytes]],
+    agg: AggregateSignature,
+    backend: SignatureBackend | None = None,
+) -> bool:
+    """Verify an aggregate on the given (or default) backend."""
+    return (backend or _DEFAULT).verify_aggregate(pairs, agg)

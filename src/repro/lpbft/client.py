@@ -73,6 +73,7 @@ class LPBFTClient(Node):
             backend=self.backend,
             use_cache=params.verify_cache,
             completion_gate=self._governance_covers,
+            aggregate=getattr(params, "aggregate_signatures", False),
         )
         self.gov_chain = GovernanceChain.genesis(genesis_config)
         self.on_receipt = on_receipt
@@ -260,7 +261,7 @@ class LPBFTClient(Node):
         self._fetching_gov = False
         try:
             chain = GovernanceChain.from_wire(wire)
-            schedule = verify_chain(chain, self.params.pipeline, self.backend)
+            schedule = verify_chain(chain, self.params.effective_pipeline(), self.backend)
         except ReceiptError:
             self.metrics.bump("bad_gov_chains")
             return
@@ -347,7 +348,7 @@ class LPBFTClient(Node):
     def config_for_receipt(self, receipt: Receipt):
         """The configuration a receipt must be verified against, from the
         client's governance chain (§5.2)."""
-        schedule = verify_chain(self.gov_chain, self.params.pipeline, self.backend)
+        schedule = verify_chain(self.gov_chain, self.params.effective_pipeline(), self.backend)
         return schedule.config_at_seqno(receipt.seqno)
 
     # -- retries and backpressure -------------------------------------------------

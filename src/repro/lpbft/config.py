@@ -26,6 +26,19 @@ class ProtocolParams:
     pipeline: int = 2  # P: concurrent batches (paper: 2 LAN, 6 WAN)
     max_batch: int = 300  # max requests per batch (paper: 300 LAN, 800 WAN)
     checkpoint_interval: int = 100  # C (paper: 10K LAN, 4K WAN)
+    # Sequencing work-window W: the primary keeps up to W consensus
+    # rounds in flight beyond the pipeline depth P (classic PBFT
+    # work-window idiom).  The evidence lag that serializes rounds —
+    # batch s waits for commitment evidence of batch s − P — widens to
+    # s − (P + W − 1), so W = 1 reproduces the paper's protocol exactly
+    # and every consumer of the lag must use :meth:`effective_pipeline`.
+    work_window: int = 1
+    # Collapse each receipt's f+1 signature shares (primary pre-prepare
+    # signature + f prepare signatures) into one BLS-style aggregate at
+    # assembly time: client/auditor verification becomes one
+    # ``verify_aggregate`` op and the f individual prepare-signature
+    # strings leave the wire.  Off by default (byte-identical receipts).
+    aggregate_signatures: bool = False
     view_change_timeout: float = 1.0  # seconds without progress before suspecting
     batch_delay: float = 0.0005  # primary waits this long to fill a batch
     request_queue_cap: int = 3000  # admission control: drop new requests beyond this backlog
@@ -105,8 +118,12 @@ class ProtocolParams:
             raise ValueError("pipeline depth P must be >= 1")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
-        if self.checkpoint_interval < self.pipeline + 1:
-            raise ValueError("checkpoint interval C must exceed pipeline depth P")
+        if self.work_window < 1:
+            raise ValueError("work window W must be >= 1")
+        if self.checkpoint_interval < self.effective_pipeline() + 1:
+            raise ValueError(
+                "checkpoint interval C must exceed the effective pipeline depth P + W - 1"
+            )
         if self.sync_chunk_bytes < 1:
             raise ValueError("sync_chunk_bytes must be >= 1")
         if self.sync_window < 1:
@@ -121,6 +138,15 @@ class ProtocolParams:
             raise ValueError("lane_backlog_budget must be positive")
         if self.ledger_gc_min_age < 0:
             raise ValueError("ledger_gc_min_age must be non-negative")
+
+    def effective_pipeline(self) -> int:
+        """The effective evidence lag ``P + W - 1``: how many batches a
+        round's commitment evidence trails its pre-prepare, hence how many
+        rounds can be in flight at once.  Every protocol-arithmetic site
+        that the paper writes in terms of P (evidence ordering, governance
+        end-of-configuration spans, view-change rollback targets, audit
+        coverage) uses this so the window stays self-consistent."""
+        return self.pipeline + self.work_window - 1
 
     def admission_budget(self) -> float:
         """The ingress backlog budget in seconds (auto: a quarter of the

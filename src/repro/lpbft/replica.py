@@ -320,6 +320,14 @@ class LPBFTReplicaCore(Node):
         config = self.config_for(self.next_seqno if seqno is None else seqno)
         return config.has_replica(self.id) and config.primary_for_view(self.view) == self.id
 
+    def window_occupancy(self) -> int:
+        """Consensus rounds currently in flight: pre-prepared (or locally
+        proposed) but not yet committed.  Bounded by the effective
+        pipeline ``P + W - 1`` — the evidence lag stalls
+        ``maybe_send_pre_prepare`` once batch ``s − (P + W − 1)`` lacks
+        commitment evidence."""
+        return max(0, self.next_seqno - 1 - self.committed_upto)
+
     def peer_addresses(self) -> list[str]:
         """Every replica address in the directory except our own.
 
@@ -540,11 +548,22 @@ class LPBFTReplicaCore(Node):
             # queued — shedding below that starves batch formation — and
             # beyond it shed when the projected queue drain time busts the
             # backlog budget.
-            if queued >= self.params.max_batch * self.params.pipeline and (
+            if queued >= self.params.max_batch * self.params.effective_pipeline() and (
                 backlog + (queued + 1) * self._service_time_estimate()
                 > self.params.admission_budget()
             ):
                 return "overloaded"
+            # Work-window gate (W > 1 only): with the full window of
+            # rounds in flight *and* enough queued requests to refill it
+            # entirely, further arrivals cannot be sequenced before the
+            # window turns over — shed them now rather than after they
+            # age into deadline drops.
+            if (
+                self.params.work_window > 1
+                and self.window_occupancy() >= self.params.effective_pipeline()
+                and queued >= self.params.max_batch * (self.params.effective_pipeline() + 1)
+            ):
+                return "window_full"
         return None
 
     def _stash_has_room(self) -> bool:
@@ -779,12 +798,12 @@ class LPBFTReplicaCore(Node):
             if not self.ready:
                 return
             s = self.next_seqno
-            if self.reconfig is not None and s == self.reconfig.activation_seqno(self.params.pipeline):
+            if self.reconfig is not None and s == self.reconfig.activation_seqno(self.params.effective_pipeline()):
                 # The activation batch is proposed by the *new*
                 # configuration's primary, which need not be the old one.
                 if self.reconfig.new_config.primary_for_view(self.view) != self.id:
                     return
-                if not self._evidence_available(s - self.params.pipeline):
+                if not self._evidence_available(s - self.params.effective_pipeline()):
                     return
                 self._activate_configuration()
                 flags = BATCH_CHECKPOINT
@@ -792,13 +811,13 @@ class LPBFTReplicaCore(Node):
                 continue
             if not (self.is_primary() and self.is_member()):
                 return
-            if self.reconfig is not None and s in self.reconfig.eoc_range(self.params.pipeline):
+            if self.reconfig is not None and s in self.reconfig.eoc_range(self.params.effective_pipeline()):
                 flags = BATCH_END_OF_CONFIG
             elif self._start_of_config_pending(s):
                 flags = BATCH_START_OF_CONFIG
             else:
                 flags = BATCH_REGULAR
-            if not self._evidence_available(s - self.params.pipeline):
+            if not self._evidence_available(s - self.params.effective_pipeline()):
                 return
             if flags == BATCH_REGULAR:
                 base = self.ledger.logical_size() + self._evidence_entry_count(s) + 1
@@ -816,7 +835,7 @@ class LPBFTReplicaCore(Node):
             self._emit_batch(s, flags, selected)
 
     def _evidence_entry_count(self, seqno: int) -> int:
-        return 2 if seqno - self.params.pipeline >= 1 else 0
+        return 2 if seqno - self.params.effective_pipeline() >= 1 else 0
 
     def _checkpoint_due(self, seqno: int) -> bool:
         """Does the regular batch at ``seqno`` carry an interval checkpoint
@@ -834,7 +853,7 @@ class LPBFTReplicaCore(Node):
         if span.config.number == 0:
             return False
         first_soc = span.start_seqno + 1
-        return first_soc <= seqno < first_soc + self.params.pipeline
+        return first_soc <= seqno < first_soc + self.params.effective_pipeline()
 
     def _emit_batch(self, s: int, flags: int, selected: list[Digest]) -> None:
         """Execute and pre-prepare one batch (primary side)."""
@@ -875,7 +894,7 @@ class LPBFTReplicaCore(Node):
     def _append_evidence(self, s: int) -> int:
         """Append the evidence entries for batch ``s − P`` (if owed);
         returns the evidence bitmap for the pre-prepare."""
-        ev_seqno = s - self.params.pipeline
+        ev_seqno = s - self.params.effective_pipeline()
         if ev_seqno < 1:
             return 0
         built = self._build_evidence(ev_seqno)
@@ -1107,7 +1126,7 @@ class LPBFTReplicaCore(Node):
         if any(d in self.tx_locations for d in batch_digests):
             return True  # batch replays an executed request: drop
         evidence_pair: tuple[EvidenceEntry, NoncesEntry] | None = None
-        ev_seqno = s - self.params.pipeline
+        ev_seqno = s - self.params.effective_pipeline()
         if ev_seqno >= 1:
             evidence_pair = self._evidence_matching(ev_seqno, pp.evidence_bitmap)
             if evidence_pair is None:
@@ -1124,7 +1143,7 @@ class LPBFTReplicaCore(Node):
         activation_batch = (
             pp.flags == BATCH_CHECKPOINT
             and self.reconfig is not None
-            and s == self.reconfig.activation_seqno(self.params.pipeline)
+            and s == self.reconfig.activation_seqno(self.params.effective_pipeline())
         )
         # A rollback that crossed an activation after a ledger adoption
         # has no ReconfigState to recognize the re-issued activation
@@ -1587,7 +1606,7 @@ class LPBFTReplicaCore(Node):
         due_activation = (
             record.flags == BATCH_END_OF_CONFIG
             and self.reconfig is not None
-            and s == self.reconfig.vote_seqno + 2 * self.params.pipeline
+            and s == self.reconfig.vote_seqno + 2 * self.params.effective_pipeline()
         )
         if not (due_interval or due_activation):
             return
@@ -1619,7 +1638,7 @@ class LPBFTReplicaCore(Node):
         # could then never verify the new configuration (§5.2).
         pinned = {seqno for seqno, _, _ in self.gov_tx_log}
         if self.reconfig is not None:
-            pinned.add(self.reconfig.vote_seqno + self.params.pipeline)
+            pinned.add(self.reconfig.vote_seqno + self.params.effective_pipeline())
         for seqno in [s for s in self.batches if s < horizon and s not in pinned]:
             record = self.batches[seqno]
             if not record.committed:
@@ -1727,7 +1746,7 @@ class LPBFTReplicaCore(Node):
         if self._gov_archive is None:
             if self.ledger.base_index > 0:
                 return  # suffix-installed: the genesis prefix never existed here
-            self._gov_archive = GovernanceExtractor(self.params.pipeline)
+            self._gov_archive = GovernanceExtractor(self.params.effective_pipeline())
         start = self._gov_archive.next_index
         if start < boundary:
             region = self.ledger.entries(start, boundary)
@@ -1753,7 +1772,7 @@ class LPBFTReplicaCore(Node):
 
         base = self.ledger.base_index
         if base == 0:
-            return extract_governance_subledger(self.ledger.entries(), self.params.pipeline)
+            return extract_governance_subledger(self.ledger.entries(), self.params.effective_pipeline())
         if self._gov_archive is not None and self._gov_archive.next_index == base:
             extractor = self._gov_archive.copy()
             extractor.feed(self.ledger.entries(), base)
@@ -1791,7 +1810,7 @@ class LPBFTReplicaCore(Node):
         the schedule and the KV store, and assemble the governance
         receipts link clients will fetch (§5.2)."""
         assert self.reconfig is not None
-        activation = self.reconfig.activation_seqno(self.params.pipeline)
+        activation = self.reconfig.activation_seqno(self.params.effective_pipeline())
         new_config = self.reconfig.new_config
         link = self._build_governance_link()
         self.kv.execute(lambda tx: install_configuration(tx, new_config))
@@ -1818,7 +1837,7 @@ class LPBFTReplicaCore(Node):
                 propose_receipt = receipt
             else:
                 vote_receipts.append(receipt)
-        eoc_seqno = self.reconfig.vote_seqno + self.params.pipeline
+        eoc_seqno = self.reconfig.vote_seqno + self.params.effective_pipeline()
         eoc_receipt = self.receipt_from_ledger(eoc_seqno, None)
         if propose_receipt is None or eoc_receipt is None:
             return None
@@ -1845,6 +1864,22 @@ class LPBFTReplicaCore(Node):
         primary_id = config.primary_for_view(record.view)
         signer_ids = bitmap_members(nonces_entry.bitmap)
         prepare_by = {p.replica: p for p in evidence.prepares()}
+        prepare_signatures = tuple(
+            prepare_by[r].signature for r in signer_ids if r != primary_id
+        )
+        aggregate = None
+        if (
+            self.params.aggregate_signatures
+            and self.params.use_signatures
+            and getattr(self.backend, "supports_aggregation", False)
+        ):
+            # Collapse the share set to one aggregate (group adds on a
+            # parallel lane); served receipts, governance links, and
+            # audit LedgerPackages all shrink by f signature strings.
+            shares = (record.pp.signature,) + prepare_signatures
+            self.submit("aggregate", len(shares) * self.costs.agg_add)
+            aggregate = self.backend.aggregate(shares)
+            prepare_signatures = ()
         common = dict(
             view=record.view,
             seqno=seqno,
@@ -1857,10 +1892,9 @@ class LPBFTReplicaCore(Node):
             committed_root=record.pp.committed_root,
             primary_signature=record.pp.signature,
             signer_bitmap=nonces_entry.bitmap,
-            prepare_signatures=tuple(
-                prepare_by[r].signature for r in signer_ids if r != primary_id
-            ),
+            prepare_signatures=prepare_signatures,
             nonces=nonces_entry.nonces,
+            aggregate=aggregate,
         )
         if tx_digest is None:
             return Receipt(

@@ -150,7 +150,7 @@ class ViewChangeMixin:
     def _last_prepared_pps(self) -> tuple:
         """The last P locally-prepared pre-prepares, oldest first."""
         prepared = sorted(s for s, r in self.batches.items() if r.prepared)
-        recent = prepared[-self.params.pipeline :]
+        recent = prepared[-self.params.effective_pipeline() :]
         return tuple(self.batches[s].pp.to_wire() for s in recent)
 
     def _start_view_change(self, new_view: int) -> None:
@@ -273,7 +273,7 @@ class ViewChangeMixin:
         """Reset the ledger to the end of batch ``slp − P`` (guaranteed
         committed) and return the composition of the batches to re-issue,
         oldest first (PPov)."""
-        target = max(0, slp - self.params.pipeline)
+        target = max(0, slp - self.params.effective_pipeline())
         reissue: list[tuple[int, int, tuple]] = []
         for seqno in sorted(s for s in self.batches if target < s <= slp):
             record = self.batches[seqno]
@@ -384,14 +384,14 @@ class ViewChangeMixin:
         if root_m != nv.root_m:
             self.metrics.bump("bad_new_views")
             return
-        if slp > 0 and slp - self.params.pipeline > self.committed_upto and (
+        if slp > 0 and slp - self.params.effective_pipeline() > self.committed_upto and (
             slp not in self.batches or self.batches[slp].pp_digest != pplp.digest()
         ):
             # Behind the committed frontier implied by the new view: sync.
             self._stashed_new_view = (src, msg)
             self._send_fetch_ledger(src)
             return
-        target = max(0, slp - self.params.pipeline)
+        target = max(0, slp - self.params.effective_pipeline())
         target = min(target, max(self.committed_upto, self.prepared_upto))
         self._rollback_to_batch(min(target, self._last_complete_batch()))
         self.ledger.append(vc_entry)
@@ -505,7 +505,7 @@ class ViewChangeMixin:
 
         entries = ledger.entries()
         if ledger.base_index == 0:
-            subledger = extract_governance_subledger(entries, self.params.pipeline)
+            subledger = extract_governance_subledger(entries, self.params.effective_pipeline())
             schedule = subledger.schedule.copy()
         else:
             # Suffix-rooted adoption (the server garbage-collected its

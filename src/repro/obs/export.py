@@ -11,7 +11,9 @@ The Perfetto export maps the span model onto the `trace-event format
   the parent, ``"f"`` at the child) so Perfetto draws the arrows;
 - annotations (sheds, retries, chaos faults) become ``"i"`` instants;
 - per-lane CPU timelines (from ``VirtualCPU.trace``) become ``"X"``
-  events on tid ``lane + 1``, named by work kind.
+  events on tid ``lane + 1``, named by work kind;
+- sequencing-window occupancy (concurrent quorum spans — the rounds in
+  flight) becomes a per-node ``"C"`` counter track.
 
 ``request_stages`` turns one request trace into a telescoping stage
 breakdown: the stages are consecutive milestone intervals partitioning
@@ -98,6 +100,25 @@ def perfetto_trace(tracer: Tracer, cpus: dict | None = None) -> dict:
             "pid": pids[ann["node"]], "tid": 0, "ts": _us(ann["at"]),
             "args": dict(ann["attrs"]),
         })
+    # Sequencing-window occupancy: a counter track per node stepped at
+    # each quorum span's boundaries — concurrent quorum spans are the
+    # consensus rounds in flight (work_window), so the overlap between
+    # outstanding rounds is visible right above the per-lane timelines.
+    window_edges: dict[str, list[tuple[float, int]]] = {}
+    for span in tracer.finished_spans():
+        if span.name != "quorum":
+            continue
+        window_edges.setdefault(span.node, []).append((span.start, 1))
+        window_edges.setdefault(span.node, []).append((span.end, -1))
+    for node in sorted(window_edges):
+        occupancy = 0
+        for at, step in sorted(window_edges[node]):
+            occupancy += step
+            events.append({
+                "ph": "C", "name": "window_occupancy", "pid": pids[node],
+                "tid": 0, "ts": _us(at),
+                "args": {"rounds_in_flight": occupancy},
+            })
     if cpus:
         for node in sorted(cpus):
             cpu = cpus[node]

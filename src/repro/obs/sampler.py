@@ -105,6 +105,7 @@ class PeriodicSampler:
                 ],
                 "stash_depth": len(replica.requests),
                 "pending_pps": len(replica.pending_pps),
+                "window_occupancy": replica.window_occupancy(),
                 "ledger_resident_entries": replica.ledger.resident_entries(),
                 "committed_upto": replica.committed_upto,
                 "view": replica.view,

@@ -76,6 +76,15 @@ class Receipt:
     # Batch receipts carry G's root directly (no path to recompute it).
     root_g: Digest | None = None
 
+    # Aggregated form (``ProtocolParams.aggregate_signatures``): one
+    # BLS-style aggregate standing in for the primary's pre-prepare
+    # signature *and* every prepare signature — ``prepare_signatures`` is
+    # then empty and verification is a single ``verify_aggregate`` op.
+    # ``primary_signature`` stays on the wire regardless: the pre-prepare
+    # digest that prepare payloads bind to covers the signature bytes, so
+    # it is needed to reconstruct what the backups signed.
+    aggregate: signatures.AggregateSignature | None = None
+
     # -- identity -----------------------------------------------------------
 
     @property
@@ -151,6 +160,10 @@ class Receipt:
             self.prepare_signatures,
             self.nonces,
             self.root_g,
+        ) + (
+            # Wire compatibility: non-aggregated receipts keep the
+            # 19-element encoding of earlier versions byte for byte.
+            () if self.aggregate is None else (self.aggregate.to_wire(),)
         )
 
     @staticmethod
@@ -176,11 +189,20 @@ class Receipt:
                 psigs,
                 nonces,
                 root_g,
+                *rest,
             ) = raw
         except (TypeError, ValueError) as exc:
             raise ReceiptError(f"malformed receipt: {exc}") from exc
         if tag != "receipt":
             raise ReceiptError(f"expected receipt, got {tag!r}")
+        if len(rest) > 1:
+            raise ReceiptError(f"malformed receipt: {len(raw)} fields")
+        aggregate = None
+        if rest and rest[0] is not None:
+            try:
+                aggregate = signatures.AggregateSignature.from_wire(rest[0])
+            except Exception as exc:
+                raise ReceiptError(f"malformed aggregate: {exc}") from exc
         return Receipt(
             request_wire=request_wire,
             index=index,
@@ -200,6 +222,7 @@ class Receipt:
             prepare_signatures=tuple(psigs),
             nonces=tuple(nonces),
             root_g=root_g,
+            aggregate=aggregate,
         )
 
     def encoded_size(self) -> int:
@@ -237,14 +260,42 @@ def verify_receipt(
         return False
     if len(receipt.nonces) != len(signer_ids):
         return False
-    if len(receipt.prepare_signatures) != len(signer_ids) - 1:
+    if receipt.aggregate is None and len(receipt.prepare_signatures) != len(signer_ids) - 1:
         return False
 
-    # Primary signature over the reconstructed pre-prepare.
     try:
         primary_key = config.replica_key(primary_id)
     except Exception:
         return False
+
+    if receipt.aggregate is not None:
+        # Aggregated form: one verify_aggregate covers the primary's
+        # pre-prepare signature and every prepare signature together —
+        # the nonce-opens-commitment checks below are hashes, so client
+        # verification is a single signature op however large the quorum.
+        if receipt.prepare_signatures:
+            return False
+        if not getattr(backend, "supports_aggregation", False):
+            return False
+        pp_digest = pp.digest()
+        pairs = [(primary_key, pp.signed_payload())]
+        for signer_id, nonce in zip(signer_ids, receipt.nonces):
+            commitment = commit_nonce(nonce)
+            if signer_id == primary_id:
+                if commitment != receipt.primary_nonce_commitment:
+                    return False
+                continue
+            prepare = Prepare(
+                replica=signer_id, nonce_commitment=commitment, pp_digest=pp_digest
+            )
+            try:
+                key = config.replica_key(signer_id)
+            except Exception:
+                return False
+            pairs.append((key, prepare.signed_payload()))
+        return backend.verify_aggregate(pairs, receipt.aggregate)
+
+    # Primary signature over the reconstructed pre-prepare.
     if not check(primary_key, pp.signed_payload(), receipt.primary_signature):
         return False
 

@@ -459,7 +459,7 @@ class StateSyncClient:
                 raise ProtocolError("sync governance chain has a different genesis")
             schedule = verify_chain(
                 chain,
-                replica.params.pipeline,
+                replica.params.effective_pipeline(),
                 replica.backend,
                 cache=replica.verify_cache,
             )
@@ -635,7 +635,7 @@ class StateSyncClient:
         else:
             try:
                 schedule = extract_governance_subledger(
-                    ledger.entries(), replica.params.pipeline
+                    ledger.entries(), replica.params.effective_pipeline()
                 ).schedule
             except Exception as exc:
                 raise ProtocolError(f"governance subledger extraction failed: {exc}") from exc
